@@ -1,0 +1,1 @@
+bench/figures.ml: Array Column Executor Expr Harness Holistic_core Holistic_data Holistic_storage Holistic_window List Printf Sort_spec Sql_formulations Table Value Window_func Window_spec

@@ -1,0 +1,1 @@
+bench/harness.ml: Gc List Printf String Unix

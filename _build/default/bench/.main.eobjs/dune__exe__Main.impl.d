@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner Figures Harness List Micro Printf Profile String Term Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Harness Hashtbl Holistic_baselines Holistic_core Holistic_data Instance Lazy List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/profile.ml: Array Column Harness Holistic_core Holistic_data Holistic_parallel Holistic_sort Holistic_storage Holistic_util List Printf String Table Unix

@@ -1,0 +1,1 @@
+bench/sql_formulations.ml: Array Column Holistic_baselines Holistic_sort Holistic_storage Holistic_util Table Value

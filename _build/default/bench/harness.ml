@@ -1,0 +1,71 @@
+(* Shared benchmark machinery: wall-clock timing with stop-loss sweeps and
+   aligned table output. All experiments print absolute numbers plus the
+   derived series the paper plots, so EXPERIMENTS.md can quote them
+   directly. *)
+
+let now () = Unix.gettimeofday ()
+
+type outcome = Time of float | Skipped
+
+(* Budget (seconds) after which a sweep stops running an algorithm: the
+   competitor is declared off-scale, as in the paper's plots where the
+   quadratic algorithms hug zero. *)
+let default_budget = ref 30.0
+
+let time f =
+  let t0 = now () in
+  let _ = f () in
+  now () -. t0
+
+let time_best ~reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t = time f in
+    if t < !best then best := t
+  done;
+  !best
+
+let gc_settle () =
+  Gc.full_major ();
+  Gc.compact ()
+
+(* Sweep one algorithm across parameter points, stopping once a point
+   exceeds the budget. The heap is settled before each point so one point's
+   garbage is not billed to the next. *)
+let sweep ~points ~run =
+  let stopped = ref false in
+  List.map
+    (fun p ->
+      if !stopped then (p, Skipped)
+      else begin
+        gc_settle ();
+        let t = run p in
+        if t > !default_budget then stopped := true;
+        (p, Time t)
+      end)
+    points
+
+let throughput_cell ~n = function
+  | Skipped -> "-"
+  | Time t -> Printf.sprintf "%.3g" (float_of_int n /. t /. 1e6)
+
+let seconds_cell = function Skipped -> "-" | Time t -> Printf.sprintf "%.3f" t
+
+let print_table ~header ~rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  " (List.map2 (fun cell w -> Printf.sprintf "%*s" w cell) row widths)
+  in
+  print_endline (line header);
+  print_endline (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> print_endline (line row)) rows
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n%!" s) fmt

@@ -1,0 +1,149 @@
+(* The "traditional SQL" formulations of a framed median (paper §6.2) and a
+   stand-in for Tableau's client-side implementation. The paper observes
+   that all tested systems execute both rewritings as O(n²) nested-loop
+   plans; these implementations reproduce those plan shapes.
+
+   The query under test:
+
+     select percentile_disc(0.5 order by l_extendedprice) over
+       (order by l_shipdate rows between 999 preceding and current row)
+     from lineitem *)
+
+open Holistic_storage
+module Naive = Holistic_baselines.Naive
+module Inc = Holistic_baselines.Incremental
+module Introsort = Holistic_sort.Introsort
+
+(* shared preparation: number the rows by l_shipdate (the WITH lineitem_rn
+   CTE) and extract the prices in rn order *)
+let prepare table =
+  let n = Table.nrows table in
+  let ship =
+    match Column.data (Table.column table "l_shipdate") with
+    | Column.Dates d -> d
+    | _ -> invalid_arg "expected date column"
+  in
+  let price =
+    match Column.data (Table.column table "l_extendedprice") with
+    | Column.Floats p -> p
+    | _ -> invalid_arg "expected float column"
+  in
+  let key = Array.copy ship in
+  let idx = Array.init n (fun i -> i) in
+  Introsort.sort_pairs ~key ~payload:idx;
+  (* prices in rn (ship-date) order, as integer cents for exact medians *)
+  Array.map (fun i -> int_of_float (price.(i) *. 100.0)) idx
+
+(* Correlated subquery: for every outer row, the inner subquery re-scans the
+   whole CTE to find rows with l2.rn between l1.rn-999 and l1.rn, then
+   aggregates them — a nested-loop dependent join. *)
+let correlated_subquery prices ~frame_rows =
+  let n = Array.length prices in
+  let out = Array.make n 0 in
+  let scratch = Array.make n 0 in
+  for rn1 = 0 to n - 1 do
+    (* inner plan: full scan with a predicate on rn *)
+    let len = ref 0 in
+    for rn2 = 0 to n - 1 do
+      if rn2 >= rn1 - (frame_rows - 1) && rn2 <= rn1 then begin
+        scratch.(!len) <- prices.(rn2);
+        incr len
+      end
+    done;
+    (* percentile_disc(0.5) within group: sort the group, index it *)
+    Introsort.sort_range scratch ~lo:0 ~hi:!len;
+    out.(rn1) <- scratch.(((!len + 1) / 2) - 1)
+  done;
+  out
+
+(* Self-join: the nested-loop band join l1 ⋈ l2 materialises every matching
+   (l1.rn, l2.price) pair; a grouped aggregation on l1.rn then computes one
+   percentile per group — the same O(n²) probe work plus O(n·w)
+   materialisation into per-group buffers. *)
+let self_join prices ~frame_rows =
+  let n = Array.length prices in
+  let join_rn = Holistic_util.Int_vec.create ~capacity:(n * 4) () in
+  let join_price = Holistic_util.Int_vec.create ~capacity:(n * 4) () in
+  for rn1 = 0 to n - 1 do
+    for rn2 = 0 to n - 1 do
+      (* band predicate evaluated on every pair: the nested-loop join *)
+      if rn2 >= rn1 - (frame_rows - 1) && rn2 <= rn1 then begin
+        Holistic_util.Int_vec.push join_rn rn1;
+        Holistic_util.Int_vec.push join_price prices.(rn2)
+      end
+    done
+  done;
+  (* grouped aggregation over the materialised join result *)
+  let npairs = Holistic_util.Int_vec.length join_rn in
+  let group_size = Array.make n 0 in
+  for p = 0 to npairs - 1 do
+    let g = Holistic_util.Int_vec.get join_rn p in
+    group_size.(g) <- group_size.(g) + 1
+  done;
+  let offsets = Array.make (n + 1) 0 in
+  for g = 0 to n - 1 do
+    offsets.(g + 1) <- offsets.(g) + group_size.(g)
+  done;
+  let grouped = Array.make npairs 0 in
+  let cursor = Array.copy offsets in
+  for p = 0 to npairs - 1 do
+    let g = Holistic_util.Int_vec.get join_rn p in
+    grouped.(cursor.(g)) <- Holistic_util.Int_vec.get join_price p;
+    cursor.(g) <- cursor.(g) + 1
+  done;
+  Array.init n (fun g ->
+      let lo = offsets.(g) and hi = offsets.(g + 1) in
+      Introsort.sort_range grouped ~lo ~hi;
+      grouped.(lo + (((hi - lo + 1) / 2) - 1)))
+
+(* Tableau-style client-side evaluation: the WINDOW_PERCENTILE table
+   calculation is Wesley & Xu's single-threaded sorted-window algorithm, but
+   it runs in an application-layer interpreter over dynamically-typed
+   values. We model that faithfully: the window state holds boxed [Value.t]s
+   and every comparison dispatches through the generic SQL comparator, like
+   an expression interpreter — no columnar unboxing, no parallelism. *)
+let client_side prices ~frame_rows =
+  let n = Array.length prices in
+  let boxed = Array.map (fun p -> Value.Int p) prices in
+  let out = Array.make n 0 in
+  let window = Array.make n Value.Null in
+  let size = ref 0 in
+  let position v =
+    let lo = ref 0 and hi = ref !size in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Value.compare_sql ~nulls_last:true window.(mid) v < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let add v =
+    let p = position v in
+    Array.blit window p window (p + 1) (!size - p);
+    window.(p) <- v;
+    incr size
+  in
+  let remove v =
+    let p = position v in
+    Array.blit window (p + 1) window p (!size - p - 1);
+    decr size
+  in
+  Inc.Frame_driver.run ~n
+    ~frame:(fun i -> (i - (frame_rows - 1), i + 1))
+    ~add:(fun j -> add boxed.(j))
+    ~remove:(fun j -> remove boxed.(j))
+    ~result:(fun i ->
+      match window.(((!size + 1) / 2) - 1) with
+      | Value.Int p -> out.(i) <- p
+      | _ -> assert false)
+    ~reset:(fun () -> size := 0)
+    ~lo:0 ~hi:n;
+  out
+
+(* reference check used by the bench self-test *)
+let oracle prices ~frame_rows =
+  let n = Array.length prices in
+  let scratch = Array.make n 0 in
+  Array.init n (fun i ->
+      let lo = max 0 (i - (frame_rows - 1)) in
+      let len = i + 1 - lo in
+      Naive.select_kth prices ~scratch ~ranges:[| (lo, i + 1) |] ~k:(((len + 1) / 2) - 1))

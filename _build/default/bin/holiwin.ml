@@ -1,0 +1,150 @@
+(* holiwin — command-line interface to the holistic window-function engine.
+
+     holiwin gen lineitem --rows 100000 -o lineitem.csv
+     holiwin query "select ... from lineitem window w as (...)" \
+        --table lineitem=lineitem.csv --algorithm mst --time
+     holiwin query "..." --table lineitem=tpch:50000      # generate inline
+     holiwin explain "select rank(order by tps desc) over w from t window w as (...)"
+*)
+
+open Holistic_storage
+module Wf = Holistic_window.Window_func
+
+let algorithms =
+  [
+    ("auto", Wf.Auto);
+    ("mst", Wf.Mst);
+    ("mst-no-cascade", Wf.Mst_no_cascade);
+    ("naive", Wf.Naive);
+    ("incremental", Wf.Incremental);
+    ("incremental-serial", Wf.Incremental_serial);
+    ("ost", Wf.Order_statistic);
+    ("segment-tree", Wf.Segment_tree);
+  ]
+
+let generators =
+  [
+    ("lineitem", fun rows -> Holistic_data.Tpch.lineitem ~rows ());
+    ("orders", fun rows -> Holistic_data.Tpch.orders ~rows ());
+    ("tpcc_results", fun rows -> Holistic_data.Scenarios.tpcc_results ~rows ());
+    ("stock_orders", fun rows -> Holistic_data.Scenarios.stock_orders ~rows ());
+  ]
+
+let load_table spec =
+  (* NAME=PATH.csv or NAME=GENERATOR:ROWS *)
+  match String.index_opt spec '=' with
+  | None -> failwith (Printf.sprintf "--table expects NAME=PATH or NAME=GEN:ROWS, got %S" spec)
+  | Some eq -> begin
+      let name = String.sub spec 0 eq in
+      let src = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+      match String.index_opt src ':' with
+      | Some c when Filename.extension src <> ".csv" -> begin
+          let gen = String.sub src 0 c in
+          let rows = int_of_string (String.sub src (c + 1) (String.length src - c - 1)) in
+          match List.assoc_opt gen generators with
+          | Some f -> (name, f rows)
+          | None ->
+              failwith
+                (Printf.sprintf "unknown generator %S (available: %s)" gen
+                   (String.concat ", " (List.map fst generators)))
+        end
+      | _ -> (name, Csv.load src)
+    end
+
+open Cmdliner
+
+(* --- gen ------------------------------------------------------------- *)
+
+let gen_cmd =
+  let kind =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) generators))) None
+      & info [] ~docv:"TABLE" ~doc:"Table to generate: lineitem, orders, tpcc_results, stock_orders.")
+  in
+  let rows = Arg.(value & opt int 10_000 & info [ "rows"; "n" ] ~doc:"Row count.") in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output CSV (default stdout).") in
+  let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"Generator seed.") in
+  let run kind rows output seed =
+    let table =
+      match kind, seed with
+      | "lineitem", Some s -> Holistic_data.Tpch.lineitem ~seed:s ~rows ()
+      | "orders", Some s -> Holistic_data.Tpch.orders ~seed:s ~rows ()
+      | "tpcc_results", Some s -> Holistic_data.Scenarios.tpcc_results ~seed:s ~rows ()
+      | "stock_orders", Some s -> Holistic_data.Scenarios.stock_orders ~seed:s ~rows ()
+      | _, None -> (List.assoc kind generators) rows
+      | _ -> assert false
+    in
+    (match output with
+    | Some path ->
+        Csv.save path table;
+        Printf.printf "wrote %d rows to %s\n" (Table.nrows table) path
+    | None -> Csv.write stdout table);
+    0
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a benchmark table as CSV")
+    Term.(const run $ kind $ rows $ output $ seed)
+
+(* --- query ----------------------------------------------------------- *)
+
+let query_cmd =
+  let sql = Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL") in
+  let tables =
+    Arg.(value & opt_all string [] & info [ "table"; "t" ] ~docv:"NAME=SRC"
+           ~doc:"Bind a table: NAME=file.csv or NAME=generator:rows.")
+  in
+  let algorithm =
+    Arg.(value & opt (some (enum algorithms)) None & info [ "algorithm"; "a" ]
+           ~doc:"Force an evaluation algorithm for all window functions.")
+  in
+  let timing = Arg.(value & flag & info [ "time" ] ~doc:"Print execution time.") in
+  let max_rows = Arg.(value & opt int 40 & info [ "max-rows" ] ~doc:"Rows to display.") in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Write full result as CSV.") in
+  let run sql table_specs algorithm timing max_rows output =
+    try
+      let tables = List.map load_table table_specs in
+      let t0 = Unix.gettimeofday () in
+      let result = Holistic_sql.Sql.query ?algorithm ~tables sql in
+      let dt = Unix.gettimeofday () -. t0 in
+      (match output with
+      | Some path -> Csv.save path result
+      | None -> Table.print ~max_rows result);
+      if timing then
+        Printf.printf "\n%d rows in %.3f s (%.3g M rows/s)\n" (Table.nrows result) dt
+          (float_of_int (Table.nrows result) /. dt /. 1e6);
+      0
+    with
+    | Holistic_sql.Sql.Parse_error (msg, off) ->
+        Printf.eprintf "parse error at offset %d: %s\n" off msg;
+        1
+    | Holistic_sql.Sql.Semantic_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a SQL query with extended window functions")
+    Term.(const run $ sql $ tables $ algorithm $ timing $ max_rows $ output)
+
+(* --- explain ---------------------------------------------------------- *)
+
+let explain_cmd =
+  let sql = Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL") in
+  let run sql =
+    try
+      print_string (Holistic_sql.Sql.explain sql);
+      0
+    with Holistic_sql.Parser.Error (msg, off) ->
+      Printf.eprintf "parse error at offset %d: %s\n" off msg;
+      1
+  in
+  Cmd.v (Cmd.info "explain" ~doc:"Parse a query and show its structure") Term.(const run $ sql)
+
+let () =
+  let doc = "Arbitrarily-framed holistic window aggregates (merge sort trees)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "holiwin" ~doc) [ gen_cmd; query_cmd; explain_cmd ]))

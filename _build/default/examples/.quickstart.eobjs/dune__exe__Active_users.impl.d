@@ -1,0 +1,1 @@
+examples/active_users.ml: Array Column Executor Expr Hashtbl Holistic_data Holistic_storage Holistic_window List Printf Sort_spec Sys Table Value Window_func Window_spec

@@ -1,0 +1,1 @@
+examples/moving_percentile.ml: Array Column Executor Expr Hashtbl Holistic_data Holistic_storage Holistic_window List Option Printf Sort_spec Sys Table Value Window_func Window_spec

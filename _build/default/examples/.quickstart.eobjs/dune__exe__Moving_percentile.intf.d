@@ -1,0 +1,1 @@
+examples/moving_percentile.mli:

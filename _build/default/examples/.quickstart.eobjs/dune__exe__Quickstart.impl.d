@@ -1,0 +1,1 @@
+examples/quickstart.ml: Column Executor Expr Holistic_storage Holistic_window Sort_spec Table Window_func Window_spec

@@ -1,0 +1,1 @@
+examples/sql_tour.ml: Holistic_data Holistic_sql Holistic_storage Printf String Table

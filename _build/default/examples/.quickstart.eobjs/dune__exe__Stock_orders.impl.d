@@ -1,0 +1,1 @@
+examples/stock_orders.ml: Array Column Executor Expr Holistic_data Holistic_storage Holistic_window Printf Sort_spec Sys Table Value Window_func Window_spec

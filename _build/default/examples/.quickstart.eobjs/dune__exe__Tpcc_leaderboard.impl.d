@@ -1,0 +1,1 @@
+examples/tpcc_leaderboard.ml: Column Executor Expr Holistic_data Holistic_storage Holistic_window Printf Sort_spec Table Value Window_func Window_spec

@@ -1,0 +1,1 @@
+lib/baselines/incremental.ml: Array Hashtbl Option

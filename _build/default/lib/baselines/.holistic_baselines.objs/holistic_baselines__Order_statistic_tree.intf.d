@@ -1,0 +1,1 @@
+lib/baselines/order_statistic_tree.mli:

@@ -1,0 +1,1 @@
+lib/baselines/segment_tree.mli:

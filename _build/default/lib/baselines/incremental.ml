@@ -1,0 +1,179 @@
+module Distinct_count = struct
+  type t = { table : (int, int) Hashtbl.t; mutable distinct : int }
+
+  let create () = { table = Hashtbl.create 64; distinct = 0 }
+
+  let add t v =
+    match Hashtbl.find_opt t.table v with
+    | None ->
+        Hashtbl.replace t.table v 1;
+        t.distinct <- t.distinct + 1
+    | Some m -> Hashtbl.replace t.table v (m + 1)
+
+  let remove t v =
+    match Hashtbl.find_opt t.table v with
+    | None -> invalid_arg "Incremental.Distinct_count.remove: absent value"
+    | Some 1 ->
+        Hashtbl.remove t.table v;
+        t.distinct <- t.distinct - 1
+    | Some m -> Hashtbl.replace t.table v (m - 1)
+
+  let count t = t.distinct
+
+  let clear t =
+    Hashtbl.reset t.table;
+    t.distinct <- 0
+end
+
+module Sorted_window = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 16 0; len = 0 }
+  let size t = t.len
+
+  let position t v =
+    let lo = ref 0 and hi = ref t.len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.data.(mid) < v then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let add t v =
+    if t.len = Array.length t.data then begin
+      let data = Array.make (2 * t.len) 0 in
+      Array.blit t.data 0 data 0 t.len;
+      t.data <- data
+    end;
+    let p = position t v in
+    Array.blit t.data p t.data (p + 1) (t.len - p);
+    t.data.(p) <- v;
+    t.len <- t.len + 1
+
+  let remove t v =
+    let p = position t v in
+    if p >= t.len || t.data.(p) <> v then raise Not_found;
+    Array.blit t.data (p + 1) t.data p (t.len - p - 1);
+    t.len <- t.len - 1
+
+  let select t i =
+    if i < 0 || i >= t.len then invalid_arg "Incremental.Sorted_window.select";
+    t.data.(i)
+
+  let rank t v = position t v
+
+  let clear t = t.len <- 0
+end
+
+module Mode = struct
+  type t = {
+    counts : (int, int) Hashtbl.t; (* id -> multiplicity *)
+    buckets : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* multiplicity -> ids *)
+    mutable max_count : int;
+    mutable size : int;
+  }
+
+  let create () =
+    { counts = Hashtbl.create 64; buckets = Hashtbl.create 16; max_count = 0; size = 0 }
+
+  let bucket t c =
+    match Hashtbl.find_opt t.buckets c with
+    | Some b -> b
+    | None ->
+        let b = Hashtbl.create 8 in
+        Hashtbl.replace t.buckets c b;
+        b
+
+  let move t v ~from ~into =
+    if from > 0 then begin
+      let b = bucket t from in
+      Hashtbl.remove b v;
+      if Hashtbl.length b = 0 then Hashtbl.remove t.buckets from
+    end;
+    if into > 0 then begin
+      Hashtbl.replace (bucket t into) v ();
+      Hashtbl.replace t.counts v into
+    end
+    else Hashtbl.remove t.counts v
+
+  let add t v =
+    let c = Option.value (Hashtbl.find_opt t.counts v) ~default:0 in
+    move t v ~from:c ~into:(c + 1);
+    if c + 1 > t.max_count then t.max_count <- c + 1;
+    t.size <- t.size + 1
+
+  let remove t v =
+    match Hashtbl.find_opt t.counts v with
+    | None | Some 0 -> invalid_arg "Incremental.Mode.remove: absent value"
+    | Some c ->
+        move t v ~from:c ~into:(c - 1);
+        (* the max can only drop by one, and only when its bucket empties *)
+        if c = t.max_count && not (Hashtbl.mem t.buckets c) then t.max_count <- c - 1;
+        t.size <- t.size - 1
+
+  let size t = t.size
+  let max_count t = t.max_count
+
+  let mode t ~better =
+    if t.max_count = 0 then None
+    else begin
+      let best = ref None in
+      Hashtbl.iter
+        (fun v () ->
+          match !best with
+          | None -> best := Some v
+          | Some b -> if better v b then best := Some v)
+        (bucket t t.max_count);
+      !best
+    end
+
+  let clear t =
+    Hashtbl.reset t.counts;
+    Hashtbl.reset t.buckets;
+    t.max_count <- 0;
+    t.size <- 0
+end
+
+module Frame_driver = struct
+  let run ~n ~frame ~add ~remove ~result ~reset ~lo ~hi =
+    reset ();
+    (* current materialised frame *)
+    let cur_lo = ref 0 and cur_hi = ref 0 in
+    for i = lo to hi - 1 do
+      let flo, fhi = frame i in
+      let flo = max 0 (min flo n) and fhi = max 0 (min fhi n) in
+      let flo, fhi = if flo > fhi then (flo, flo) else (flo, fhi) in
+      (* Morph [cur_lo, cur_hi) into [flo, fhi) with adds/removes. When the
+         frames are disjoint everything is removed then re-added — the
+         non-monotonic worst case. *)
+      if fhi <= !cur_lo || flo >= !cur_hi then begin
+        for j = !cur_lo to !cur_hi - 1 do
+          remove j
+        done;
+        for j = flo to fhi - 1 do
+          add j
+        done
+      end
+      else begin
+        if flo < !cur_lo then
+          for j = flo to !cur_lo - 1 do
+            add j
+          done
+        else
+          for j = !cur_lo to flo - 1 do
+            remove j
+          done;
+        if fhi > !cur_hi then
+          for j = !cur_hi to fhi - 1 do
+            add j
+          done
+        else
+          for j = fhi to !cur_hi - 1 do
+            remove j
+          done
+      end;
+      cur_lo := flo;
+      cur_hi := fhi;
+      result i
+    done
+end

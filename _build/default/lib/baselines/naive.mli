@@ -1,0 +1,20 @@
+(** Naive per-frame recomputation (paper §5.5): every output row recomputes
+    its aggregate from scratch over the frame — O(n · w) overall, but with a
+    small constant and trivially task-parallel, which makes it surprisingly
+    competitive at tiny frame sizes (§6.4). *)
+
+val select_kth : int array -> scratch:int array -> ranges:(int * int) array -> k:int -> int
+(** k-th smallest (0-based) value among the positions covered by the
+    (clamped, disjoint) half-open ranges, by copying them into [scratch] and
+    running quickselect. [scratch] must be at least as long as the covered
+    population. @raise Invalid_argument if [k] is out of bounds. *)
+
+val count_less : int array -> ranges:(int * int) array -> less_than:int -> int
+(** Linear-scan count of covered positions holding a value [< less_than]. *)
+
+val distinct_count : int array -> ranges:(int * int) array -> int
+(** Hash-table distinct count over the covered positions (§4.2's "recompute
+    the hash table from scratch for every window frame"). *)
+
+val distinct_below : int array -> ranges:(int * int) array -> key:int -> int
+(** Distinct values [< key] among covered positions (naive DENSE_RANK). *)

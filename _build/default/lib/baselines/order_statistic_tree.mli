@@ -1,0 +1,39 @@
+(** Order statistic tree: a counted B-tree over an integer multiset
+    (Tatham [35], the paper's §5.5 standalone competitor for windowed
+    percentiles and ranks).
+
+    Every node is annotated with its subtree element count, giving O(log n)
+    [insert], [remove], [rank] and [select]. Equal keys are stored as
+    individual elements, so the structure is a true multiset. Unlike the
+    merge sort tree this structure is incremental — and therefore cannot be
+    shared read-only across tasks: each task of a task-parallel driver must
+    rebuild the window state from scratch (§3.2). *)
+
+type t
+
+val create : ?min_degree:int -> unit -> t
+(** [min_degree] is the B-tree parameter t (nodes hold t-1 .. 2t-1 keys);
+    default 16. *)
+
+val size : t -> int
+
+val insert : t -> int -> unit
+(** Adds one occurrence of the key. *)
+
+val remove : t -> int -> unit
+(** Removes one occurrence. @raise Not_found if the key is absent. *)
+
+val mem : t -> int -> bool
+
+val rank : t -> int -> int
+(** Number of stored elements strictly smaller than the key. *)
+
+val select : t -> int -> int
+(** [select t i] is the i-th smallest element (0-based).
+    @raise Invalid_argument if [i] is out of bounds. *)
+
+val clear : t -> unit
+
+val check_invariants : t -> unit
+(** Validates B-tree structural invariants (key ordering, node fill, subtree
+    counts, uniform leaf depth). For tests. @raise Failure on violation. *)

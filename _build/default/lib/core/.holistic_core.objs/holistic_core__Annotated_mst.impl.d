@@ -1,0 +1,1 @@
+lib/core/annotated_mst.ml: Array Mst

@@ -1,0 +1,1 @@
+lib/core/annotated_mst.mli: Holistic_parallel

@@ -1,0 +1,1 @@
+lib/core/mst.ml: Array Holistic_parallel Holistic_util Option Printf

@@ -1,0 +1,1 @@
+lib/core/mst.mli: Holistic_parallel

@@ -1,0 +1,1 @@
+lib/core/mst_compact.ml: Array Bigarray Int32 Mst Printf

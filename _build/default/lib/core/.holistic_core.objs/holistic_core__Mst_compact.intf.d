@@ -1,0 +1,1 @@
+lib/core/mst_compact.mli: Mst

@@ -1,0 +1,1 @@
+lib/core/prev_occurrence.ml: Array Holistic_parallel Holistic_sort

@@ -1,0 +1,1 @@
+lib/core/prev_occurrence.mli: Holistic_parallel

@@ -1,0 +1,1 @@
+lib/core/rank_encode.ml: Array Float Holistic_parallel Holistic_sort

@@ -1,0 +1,1 @@
+lib/core/rank_encode.mli: Holistic_parallel

@@ -1,0 +1,33 @@
+(** 32-bit merge sort trees (paper §5.1).
+
+    The paper builds its trees with 32-bit integers whenever the partition
+    fits, halving memory and easing memory-bandwidth pressure. This module
+    is the OCaml analogue: a bit-identical clone of a built {!Mst} with all
+    level and cursor arrays re-encoded into int32 bigarrays, answering the
+    same count and select queries. Mirrors the paper's per-width template
+    instantiation; the [ablation-store] benchmark measures the resulting
+    space/time trade-off (in OCaml the 4-byte reads box through [Int32], so
+    unlike C++ the compact tree trades some CPU for the halved footprint).
+
+    Build 64-bit, convert once, drop the original: peak memory during
+    conversion is 1.5× the 64-bit tree. *)
+
+type t
+
+val of_mst : Mst.t -> t
+(** @raise Invalid_argument if any stored value falls outside int32 range. *)
+
+val length : t -> int
+
+val count : t -> lo:int -> hi:int -> less_than:int -> int
+(** Same contract as {!Mst.count}. *)
+
+val count_ranges : t -> ranges:(int * int) array -> less_than:int -> int
+
+val select : t -> ranges:(int * int) array -> nth:int -> int
+(** Same contract as {!Mst.select}. *)
+
+val count_value_ranges : t -> ranges:(int * int) array -> int
+
+val heap_bytes : t -> int
+(** Bytes held by the compact representation (4 per element). *)

@@ -1,0 +1,37 @@
+module Task_pool = Holistic_parallel.Task_pool
+module Introsort = Holistic_sort.Introsort
+module Parallel_sort = Holistic_sort.Parallel_sort
+
+type t = { rank_codes : int array; row_codes : int array; permutation : int array }
+
+let of_sorted_permutation n permutation ~ties =
+  let rank_codes = Array.make n 0 in
+  let row_codes = Array.make n 0 in
+  let code = ref 0 in
+  for r = 0 to n - 1 do
+    if r > 0 && not (ties permutation.(r - 1) permutation.(r)) then incr code;
+    rank_codes.(permutation.(r)) <- !code;
+    row_codes.(permutation.(r)) <- r
+  done;
+  { rank_codes; row_codes; permutation }
+
+let of_cmp n ~cmp =
+  let permutation = Introsort.sort_indices_by n ~cmp in
+  of_sorted_permutation n permutation ~ties:(fun i j -> cmp i j = 0)
+
+let of_floats ?(desc = false) values =
+  let n = Array.length values in
+  (* descending order = ascending order of the negated keys; negation is
+     monotone and total for floats (including ±0.0, which already tie) *)
+  let key = if desc then Array.map Float.neg values else Array.copy values in
+  let permutation = Array.init n (fun i -> i) in
+  Introsort.sort_float_pairs ~key ~payload:permutation;
+  of_sorted_permutation n permutation ~ties:(fun i j -> Float.compare values.(i) values.(j) = 0)
+
+let of_ints ?pool values =
+  let pool = match pool with Some p -> p | None -> Task_pool.default () in
+  let n = Array.length values in
+  let key = Array.copy values in
+  let permutation = Array.init n (fun i -> i) in
+  Parallel_sort.sort_pairs pool ~key ~payload:permutation;
+  of_sorted_permutation n permutation ~ties:(fun i j -> values.(i) = values.(j))

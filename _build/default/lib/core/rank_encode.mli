@@ -1,0 +1,34 @@
+(** Integer preprocessing for order-based window functions (§5.1, Fig. 8 and
+    §4.5, Fig. 6).
+
+    All ORDER BY complexity — multiple sort keys, directions, NULLS
+    FIRST/LAST, expressions — is compiled here into dense integer arrays so
+    the merge sort tree only ever stores integers. *)
+
+type t = {
+  rank_codes : int array;
+      (** [rank_codes.(i)]: dense code of row [i]'s peer group under the
+          ordering; tied rows share a code. A row's framed RANK is the count
+          of frame rows with a strictly smaller code, plus one. *)
+  row_codes : int array;
+      (** [row_codes.(i)]: position of row [i] in the stable sort by the
+          ordering — unique codes, ties broken by position (ROW_NUMBER
+          disambiguation, §4.4). *)
+  permutation : int array;
+      (** [permutation.(r)]: the row at sorted position [r] — the §4.5
+          permutation array. The merge sort tree for percentiles and value
+          functions is built over this array. *)
+}
+
+val of_cmp : int -> cmp:(int -> int -> int) -> t
+(** [of_cmp n ~cmp] encodes rows [0..n-1] under an arbitrary row comparator
+    (which must be a total preorder). *)
+
+val of_ints : ?pool:Holistic_parallel.Task_pool.t -> int array -> t
+(** Fast path for a single ascending integer key, using the parallel pair
+    sort. *)
+
+val of_floats : ?desc:bool -> float array -> t
+(** Fast path for a single plain float key (either direction), using the
+    unboxed float pair sort. Equal floats tie; NaNs form their own top
+    group. *)

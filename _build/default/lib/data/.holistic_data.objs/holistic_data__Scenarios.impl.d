@@ -1,0 +1,1 @@
+lib/data/scenarios.ml: Array Column Float Holistic_storage Holistic_util Table Value

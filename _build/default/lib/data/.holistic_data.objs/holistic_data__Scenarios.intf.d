@@ -1,0 +1,1 @@
+lib/data/scenarios.mli: Holistic_storage Table

@@ -1,0 +1,1 @@
+lib/data/tpch.ml: Array Column Holistic_storage Holistic_util Table Value

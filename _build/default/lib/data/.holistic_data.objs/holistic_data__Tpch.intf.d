@@ -1,0 +1,1 @@
+lib/data/tpch.mli: Holistic_storage Table

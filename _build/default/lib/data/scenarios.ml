@@ -1,0 +1,76 @@
+open Holistic_storage
+module Rng = Holistic_util.Rng
+
+let systems =
+  [| "Hyper"; "Umbra"; "DuckDB"; "Postgres"; "Oracle"; "SQLServer"; "DB2"; "Informix"; "Sybase";
+     "MySQL"; "MonetDB"; "Vertica" |]
+
+let tpcc_results ?(seed = 7) ~rows () =
+  let rng = Rng.create seed in
+  let dbsystem = Array.make rows "" in
+  let tps = Array.make rows 0.0 in
+  let submission = Array.make rows 0 in
+  let first = Value.date_of_ymd 1993 1 1 in
+  let last = Value.date_of_ymd 2010 12 31 in
+  for i = 0 to rows - 1 do
+    let d = Rng.int_in rng first last in
+    let years = float_of_int (d - first) /. 365.25 in
+    dbsystem.(i) <- systems.(Rng.int rng (Array.length systems));
+    (* Moore's-law-ish growth with noise: results improve over the years. *)
+    tps.(i) <- (100.0 *. (2.0 ** (years /. 2.0))) *. (0.5 +. Rng.float rng 1.0);
+    submission.(i) <- d
+  done;
+  Table.create
+    [
+      ("dbsystem", Column.strings dbsystem);
+      ("tps", Column.floats tps);
+      ("submission_date", Column.dates submission);
+    ]
+
+let stock_orders ?(seed = 11) ~rows () =
+  let rng = Rng.create seed in
+  let price = Array.make rows 0.0 in
+  let placement = Array.make rows 0 in
+  let good_for = Array.make rows 0 in
+  let t = ref 0 in
+  let p = ref 100.0 in
+  for i = 0 to rows - 1 do
+    t := !t + 1 + Rng.int rng 5;
+    (* random walk with mean reversion *)
+    p := Float.max 1.0 (!p +. Rng.float rng 2.0 -. 1.0 +. ((100.0 -. !p) *. 0.001));
+    price.(i) <- Float.round (!p *. 100.0) /. 100.0;
+    placement.(i) <- !t;
+    good_for.(i) <- 10 + Rng.int rng 600
+  done;
+  Table.create
+    [
+      ("price", Column.floats price);
+      ("placement_time", Column.ints placement);
+      ("good_for", Column.ints good_for);
+    ]
+
+let uniform_ints ?(seed = 1) ~n ~bound () =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Rng.int rng bound)
+
+let zipf_ints ?(seed = 2) ~n ~bound ?(alpha = 1.1) () =
+  let rng = Rng.create seed in
+  (* Inverse-CDF sampling over the truncated zeta distribution. *)
+  let weights = Array.init bound (fun k -> 1.0 /. Float.pow (float_of_int (k + 1)) alpha) in
+  let cdf = Array.make bound 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k w ->
+      acc := !acc +. w;
+      cdf.(k) <- !acc)
+    weights;
+  let total = !acc in
+  Array.init n (fun _ ->
+      let u = Rng.float rng total in
+      (* binary search the CDF *)
+      let lo = ref 0 and hi = ref (bound - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cdf.(mid) < u then lo := mid + 1 else hi := mid
+      done;
+      !lo)

@@ -1,0 +1,18 @@
+(** Data for the paper's motivating scenarios (§1, §2.2, §2.4). *)
+
+open Holistic_storage
+
+val tpcc_results : ?seed:int -> rows:int -> unit -> Table.t
+(** Historical TPC-C submissions (§2.4): [dbsystem] (string), [tps] (float,
+    trending upward over the years with noise), [submission_date]. *)
+
+val stock_orders : ?seed:int -> rows:int -> unit -> Table.t
+(** Stock limit orders (§2.2): [price], [placement_time] (int seconds),
+    [good_for] (int seconds, per-row validity interval — the non-constant
+    frame bound example). *)
+
+val uniform_ints : ?seed:int -> n:int -> bound:int -> unit -> int array
+
+val zipf_ints : ?seed:int -> n:int -> bound:int -> ?alpha:float -> unit -> int array
+(** Zipf-distributed values in [\[0, bound)] — heavy duplication, the
+    adversarial input for 2-way quicksort (§5.3). *)

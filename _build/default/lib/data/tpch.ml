@@ -1,0 +1,74 @@
+open Holistic_storage
+module Rng = Holistic_util.Rng
+
+let start_date = Value.date_of_ymd 1992 1 1
+let end_order_date = Value.date_of_ymd 1998 8 2
+
+let scale_factor_rows sf = int_of_float (6_001_215.0 *. sf)
+
+(* TPC-H retail price formula: 90000 + ((p/10) mod 20001) + 100*(p mod 1000),
+   in cents. *)
+let part_price partkey =
+  float_of_int (90_000 + (partkey / 10 mod 20_001) + (100 * (partkey mod 1_000))) /. 100.0
+
+let lineitem ?(seed = 42) ~rows () =
+  let rng = Rng.create seed in
+  let nparts = max 200 (rows / 30) in
+  let norders = max 1 (rows / 4) in
+  let orderkey = Array.make rows 0 in
+  let partkey = Array.make rows 0 in
+  let suppkey = Array.make rows 0 in
+  let quantity = Array.make rows 0 in
+  let extendedprice = Array.make rows 0.0 in
+  let discount = Array.make rows 0.0 in
+  let shipdate = Array.make rows 0 in
+  let commitdate = Array.make rows 0 in
+  let receiptdate = Array.make rows 0 in
+  for i = 0 to rows - 1 do
+    let ok = 1 + Rng.int rng norders in
+    let pk = 1 + Rng.int rng nparts in
+    let qty = 1 + Rng.int rng 50 in
+    let odate = Rng.int_in rng start_date end_order_date in
+    let sdate = odate + 1 + Rng.int rng 121 in
+    orderkey.(i) <- ok;
+    partkey.(i) <- pk;
+    suppkey.(i) <- 1 + Rng.int rng (max 10 (nparts / 20));
+    quantity.(i) <- qty;
+    extendedprice.(i) <- float_of_int qty *. part_price pk;
+    discount.(i) <- float_of_int (Rng.int rng 11) /. 100.0;
+    shipdate.(i) <- sdate;
+    commitdate.(i) <- odate + 30 + Rng.int rng 61;
+    receiptdate.(i) <- sdate + 1 + Rng.int rng 30
+  done;
+  Table.create
+    [
+      ("l_orderkey", Column.ints orderkey);
+      ("l_partkey", Column.ints partkey);
+      ("l_suppkey", Column.ints suppkey);
+      ("l_quantity", Column.ints quantity);
+      ("l_extendedprice", Column.floats extendedprice);
+      ("l_discount", Column.floats discount);
+      ("l_shipdate", Column.dates shipdate);
+      ("l_commitdate", Column.dates commitdate);
+      ("l_receiptdate", Column.dates receiptdate);
+    ]
+
+let orders ?(seed = 43) ~rows () =
+  let rng = Rng.create seed in
+  let ncust = max 10 (rows / 10) in
+  let orderkey = Array.init rows (fun i -> i + 1) in
+  let custkey = Array.make rows 0 in
+  let orderdate = Array.make rows 0 in
+  let totalprice = Array.make rows 0.0 in
+  for i = 0 to rows - 1 do
+    custkey.(i) <- 1 + Rng.int rng ncust;
+    orderdate.(i) <- Rng.int_in rng start_date end_order_date;
+    totalprice.(i) <- 1_000.0 +. Rng.float rng 450_000.0
+  done;
+  Table.create
+    [
+      ("o_orderkey", Column.ints orderkey);
+      ("o_custkey", Column.ints custkey);
+      ("o_orderdate", Column.dates orderdate);
+      ("o_totalprice", Column.floats totalprice);
+    ]

@@ -1,0 +1,21 @@
+(** Deterministic in-process TPC-H-style data (DESIGN.md substitution table).
+
+    The experiments only consume a handful of column distributions of the
+    dbgen tables; this generator reproduces those: order dates uniform over
+    1992-01-01 .. 1998-08-02, ship dates 1–121 days after the order, receipt
+    dates 1–30 days after shipping, ~1 part key per 30 rows (TPC-H's 6 M
+    lineitems over 200 k parts), retail-price-formula extended prices, and
+    ~1 customer per 10 orders. Generation is seeded and O(n). *)
+
+open Holistic_storage
+
+val lineitem : ?seed:int -> rows:int -> unit -> Table.t
+(** Columns: [l_orderkey], [l_partkey], [l_suppkey], [l_quantity],
+    [l_extendedprice], [l_discount], [l_shipdate], [l_commitdate],
+    [l_receiptdate] — the subset used by the paper's queries. *)
+
+val orders : ?seed:int -> rows:int -> unit -> Table.t
+(** Columns: [o_orderkey], [o_custkey], [o_orderdate], [o_totalprice]. *)
+
+val scale_factor_rows : float -> int
+(** Lineitem rows at a given TPC-H scale factor (6_001_215 per SF). *)

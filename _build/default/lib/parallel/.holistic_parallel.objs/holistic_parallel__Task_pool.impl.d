@@ -1,0 +1,1 @@
+lib/parallel/task_pool.ml: Array Condition Domain List Mutex Queue

@@ -1,0 +1,1 @@
+lib/parallel/task_pool.mli:

@@ -1,0 +1,139 @@
+let default_task_size = 20_000
+
+type shared = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable pending : int; (* queued or running tasks of the current batch *)
+  mutable first_error : exn option;
+  mutable stop : bool;
+}
+
+type t = { shared : shared; workers : unit Domain.t array; n : int; mutable alive : bool }
+
+let worker_loop shared =
+  let rec loop () =
+    Mutex.lock shared.mutex;
+    while Queue.is_empty shared.queue && not shared.stop do
+      Condition.wait shared.work_available shared.mutex
+    done;
+    if shared.stop && Queue.is_empty shared.queue then Mutex.unlock shared.mutex
+    else begin
+      let task = Queue.pop shared.queue in
+      Mutex.unlock shared.mutex;
+      (try task ()
+       with e ->
+         Mutex.lock shared.mutex;
+         if shared.first_error = None then shared.first_error <- Some e;
+         Mutex.unlock shared.mutex);
+      Mutex.lock shared.mutex;
+      shared.pending <- shared.pending - 1;
+      if shared.pending = 0 then Condition.broadcast shared.batch_done;
+      Mutex.unlock shared.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create n =
+  if n < 1 then invalid_arg "Task_pool.create";
+  let shared =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      queue = Queue.create ();
+      pending = 0;
+      first_error = None;
+      stop = false;
+    }
+  in
+  let workers =
+    if n = 1 then [||]
+    else Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop shared))
+  in
+  { shared; workers; n; alive = true }
+
+let size t = t.n
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    let s = t.shared in
+    Mutex.lock s.mutex;
+    s.stop <- true;
+    Condition.broadcast s.work_available;
+    Mutex.unlock s.mutex;
+    Array.iter Domain.join t.workers
+  end
+
+let run_list_serial tasks =
+  let first_error = ref None in
+  List.iter
+    (fun task ->
+      try task () with e -> if !first_error = None then first_error := Some e)
+    tasks;
+  match !first_error with None -> () | Some e -> raise e
+
+let run_list t tasks =
+  if t.n = 1 then run_list_serial tasks
+  else begin
+    let s = t.shared in
+    Mutex.lock s.mutex;
+    s.first_error <- None;
+    List.iter
+      (fun task ->
+        s.pending <- s.pending + 1;
+        Queue.push task s.queue)
+      tasks;
+    Condition.broadcast s.work_available;
+    (* The caller helps drain the queue instead of blocking idly. *)
+    let rec help () =
+      if not (Queue.is_empty s.queue) then begin
+        let task = Queue.pop s.queue in
+        Mutex.unlock s.mutex;
+        (try task ()
+         with e ->
+           Mutex.lock s.mutex;
+           if s.first_error = None then s.first_error <- Some e;
+           Mutex.unlock s.mutex);
+        Mutex.lock s.mutex;
+        s.pending <- s.pending - 1;
+        if s.pending = 0 then Condition.broadcast s.batch_done;
+        help ()
+      end
+    in
+    help ();
+    while s.pending > 0 do
+      Condition.wait s.batch_done s.mutex
+    done;
+    let err = s.first_error in
+    s.first_error <- None;
+    Mutex.unlock s.mutex;
+    match err with None -> () | Some e -> raise e
+  end
+
+let parallel_for t ~lo ~hi ~chunk f =
+  if chunk <= 0 then invalid_arg "Task_pool.parallel_for: chunk must be positive";
+  if hi > lo then begin
+    let tasks = ref [] in
+    let pos = ref lo in
+    while !pos < hi do
+      let chunk_lo = !pos in
+      let chunk_hi = min hi (chunk_lo + chunk) in
+      tasks := (fun () -> f chunk_lo chunk_hi) :: !tasks;
+      pos := chunk_hi
+    done;
+    run_list t (List.rev !tasks)
+  end
+
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+      let p = create (Domain.recommended_domain_count ()) in
+      default_pool := Some p;
+      p

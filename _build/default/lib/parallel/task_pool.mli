@@ -1,0 +1,39 @@
+(** A fixed pool of worker domains executing submitted closures.
+
+    This is the execution substrate for the morsel-driven, task-based
+    parallelism the paper assumes (Leis et al. [26], paper §3.2/§5.5): work is
+    cut into many fixed-size independent tasks, far more tasks than threads.
+
+    A pool of size 1 executes everything inline on the caller, which keeps
+    behaviour deterministic on single-core machines while preserving the task
+    decomposition itself (and hence the per-task costs the paper measures). *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns a pool backed by [n] domains ([n >= 1]; [n = 1] spawns
+    none and runs tasks inline). *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Terminates the worker domains. The pool must be idle. Idempotent. *)
+
+val run_list : t -> (unit -> unit) list -> unit
+(** [run_list t tasks] executes all tasks to completion, possibly
+    concurrently, and returns when the last one finishes. If one or more
+    tasks raise, the first exception observed is re-raised in the caller
+    after all tasks have completed. Tasks must not themselves call
+    [run_list] on the same pool. *)
+
+val parallel_for : t -> lo:int -> hi:int -> chunk:int -> (int -> int -> unit) ->  unit
+(** [parallel_for t ~lo ~hi ~chunk f] partitions [\[lo, hi)] into consecutive
+    chunks of size [chunk] (the task size) and runs [f chunk_lo chunk_hi] for
+    each as a pool task. *)
+
+val default : unit -> t
+(** A process-wide pool sized to [Domain.recommended_domain_count ()],
+    created on first use. *)
+
+val default_task_size : int
+(** The paper's fixed task granularity: 20_000 tuples (§5.5). *)

@@ -1,0 +1,1 @@
+lib/sort/introsort.ml: Array Float

@@ -1,0 +1,1 @@
+lib/sort/introsort.mli:

@@ -1,0 +1,1 @@
+lib/sort/multiway.ml: Array Holistic_util

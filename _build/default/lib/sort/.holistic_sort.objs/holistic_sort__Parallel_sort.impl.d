@@ -1,0 +1,1 @@
+lib/sort/parallel_sort.ml: Array Holistic_parallel Introsort Multiway Task_pool

@@ -1,0 +1,1 @@
+lib/sort/parallel_sort.mli: Holistic_parallel Multiway Task_pool

@@ -1,0 +1,161 @@
+module Bs = Holistic_util.Binary_search
+
+type run = { lo : int; hi : int }
+
+let total_length runs = Array.fold_left (fun acc r -> acc + (r.hi - r.lo)) 0 runs
+
+(* A small binary min-heap keyed by (value, run index); replace-top based
+   k-way merge. Heap entries: per-slot value, run index and cursor. *)
+type heap = {
+  mutable size : int;
+  vals : int array;
+  run_of : int array;
+  cursor : int array;
+}
+
+let heap_less h i j =
+  h.vals.(i) < h.vals.(j) || (h.vals.(i) = h.vals.(j) && h.run_of.(i) < h.run_of.(j))
+
+let heap_swap h i j =
+  let sw (a : int array) =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  sw h.vals;
+  sw h.run_of;
+  sw h.cursor
+
+let rec heap_down h i =
+  let l = (2 * i) + 1 in
+  if l < h.size then begin
+    let c = if l + 1 < h.size && heap_less h (l + 1) l then l + 1 else l in
+    if heap_less h c i then begin
+      heap_swap h i c;
+      heap_down h c
+    end
+  end
+
+let rec heap_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_less h i parent then begin
+      heap_swap h i parent;
+      heap_up h parent
+    end
+  end
+
+let heap_of_runs (src : int array) (runs : run array) =
+  let k = Array.length runs in
+  let h = { size = 0; vals = Array.make k 0; run_of = Array.make k 0; cursor = Array.make k 0 } in
+  Array.iteri
+    (fun r { lo; hi } ->
+      if lo < hi then begin
+        let i = h.size in
+        h.vals.(i) <- src.(lo);
+        h.run_of.(i) <- r;
+        h.cursor.(i) <- lo;
+        h.size <- h.size + 1;
+        heap_up h i
+      end)
+    runs;
+  h
+
+let merge ~src ~runs ~dst ~dst_pos =
+  let h = heap_of_runs src runs in
+  let pos = ref dst_pos in
+  while h.size > 0 do
+    dst.(!pos) <- h.vals.(0);
+    incr pos;
+    let r = h.run_of.(0) in
+    let c = h.cursor.(0) + 1 in
+    if c < runs.(r).hi then begin
+      h.vals.(0) <- src.(c);
+      h.cursor.(0) <- c;
+      heap_down h 0
+    end
+    else begin
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        heap_swap h 0 h.size;
+        heap_down h 0
+      end
+    end
+  done
+
+let merge_pairs ~key ~payload ~runs ~dst_key ~dst_payload ~dst_pos =
+  let h = heap_of_runs key runs in
+  let pos = ref dst_pos in
+  while h.size > 0 do
+    let c0 = h.cursor.(0) in
+    dst_key.(!pos) <- h.vals.(0);
+    dst_payload.(!pos) <- payload.(c0);
+    incr pos;
+    let r = h.run_of.(0) in
+    let c = c0 + 1 in
+    if c < runs.(r).hi then begin
+      h.vals.(0) <- key.(c);
+      h.cursor.(0) <- c;
+      heap_down h 0
+    end
+    else begin
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        heap_swap h 0 h.size;
+        heap_down h 0
+      end
+    end
+  done
+
+let split_at_rank ~src ~runs ~rank =
+  let total = total_length runs in
+  if rank < 0 || rank > total then invalid_arg "Multiway.split_at_rank";
+  let k = Array.length runs in
+  let cuts = Array.map (fun r -> r.lo) runs in
+  if rank = 0 then cuts
+  else if rank = total then Array.map (fun r -> r.hi) runs
+  else begin
+    (* Binary search over the value domain for the smallest value v with
+       count_le(v) >= rank; counts are monotone in v. Midpoints computed
+       overflow-safely (values may span the full int range). *)
+    let vmin = ref max_int and vmax = ref min_int in
+    Array.iter
+      (fun { lo; hi } ->
+        if lo < hi then begin
+          if src.(lo) < !vmin then vmin := src.(lo);
+          if src.(hi - 1) > !vmax then vmax := src.(hi - 1)
+        end)
+      runs;
+    let count_less v =
+      let acc = ref 0 in
+      Array.iter (fun { lo; hi } -> acc := !acc + Bs.lower_bound src ~lo ~hi v - lo) runs;
+      !acc
+    in
+    let count_le v =
+      let acc = ref 0 in
+      Array.iter (fun { lo; hi } -> acc := !acc + Bs.upper_bound src ~lo ~hi v - lo) runs;
+      !acc
+    in
+    let mid lo hi = (lo / 2) + (hi / 2) + (lo land hi land 1) in
+    let lo = ref !vmin and hi = ref !vmax in
+    while !lo < !hi do
+      let m = mid !lo !hi in
+      if count_le m >= rank then hi := m else lo := m + 1
+    done;
+    let v = !lo in
+    let below = count_less v in
+    (* Take all elements < v, then distribute the remaining (rank - below)
+       equal-to-v elements across runs in run order (the stable tie-break). *)
+    let remaining = ref (rank - below) in
+    assert (!remaining >= 0);
+    for r = 0 to k - 1 do
+      let { lo; hi } = runs.(r) in
+      let first_eq = Bs.lower_bound src ~lo ~hi v in
+      let past_eq = Bs.upper_bound src ~lo ~hi v in
+      let take = min !remaining (past_eq - first_eq) in
+      cuts.(r) <- first_eq + take;
+      remaining := !remaining - take
+    done;
+    assert (!remaining = 0);
+    cuts
+  end

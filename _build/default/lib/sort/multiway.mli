@@ -1,0 +1,34 @@
+(** K-way merging of sorted runs and rank-based run splitting.
+
+    These are the building blocks of the balanced parallel multiway merge
+    (Francis et al., the paper's §5.2): runs are split at global ranks so
+    that independent output segments can be merged by independent tasks. *)
+
+type run = { lo : int; hi : int }
+(** A half-open, ascending-sorted segment of the source array. *)
+
+val merge : src:int array -> runs:run array -> dst:int array -> dst_pos:int -> unit
+(** Merges all runs of [src] ascending into [dst] starting at [dst_pos].
+    Ties are broken by run index (earlier runs first), so the merge is stable
+    with respect to run order. *)
+
+val merge_pairs :
+  key:int array ->
+  payload:int array ->
+  runs:run array ->
+  dst_key:int array ->
+  dst_payload:int array ->
+  dst_pos:int ->
+  unit
+(** Like {!merge} but moves a payload array along with the keys, ordering by
+    [(key, run index, position)] — stable for runs of a previously stable
+    partition. *)
+
+val total_length : run array -> int
+
+val split_at_rank : src:int array -> runs:run array -> rank:int -> int array
+(** [split_at_rank ~src ~runs ~rank] returns one cut position per run (an
+    absolute index within that run's bounds) such that the cut prefixes
+    together contain exactly [rank] elements and every prefix element sorts
+    no later than every suffix element under the stable merge order of
+    {!merge}. [rank] must lie in [\[0, total_length runs\]]. *)

@@ -1,0 +1,60 @@
+open Holistic_parallel
+
+let sort_runs pool ?(task_size = Task_pool.default_task_size) ~key ~payload () =
+  let n = Array.length key in
+  if Array.length payload <> n then invalid_arg "Parallel_sort.sort_runs: length mismatch";
+  let nruns = if n = 0 then 0 else ((n - 1) / task_size) + 1 in
+  let runs =
+    Array.init nruns (fun r ->
+        { Multiway.lo = r * task_size; hi = min n ((r + 1) * task_size) })
+  in
+  Task_pool.run_list pool
+    (Array.to_list
+       (Array.map
+          (fun { Multiway.lo; hi } ->
+            fun () -> Introsort.sort_pairs_range ~key ~payload ~lo ~hi)
+          runs));
+  runs
+
+let merge_runs pool ~key ~payload ~runs =
+  let total = Multiway.total_length runs in
+  if Array.length runs > 1 then begin
+    let scratch_key = Array.make total 0 in
+    let scratch_payload = Array.make total 0 in
+    let segments = max 1 (Task_pool.size pool) in
+    let rank_of s = s * total / segments in
+    let cuts = Array.init (segments + 1) (fun s -> Multiway.split_at_rank ~src:key ~runs ~rank:(rank_of s)) in
+    let tasks = ref [] in
+    for s = segments - 1 downto 0 do
+      let sub_runs =
+        Array.init (Array.length runs) (fun r ->
+            { Multiway.lo = cuts.(s).(r); hi = cuts.(s + 1).(r) })
+      in
+      let dst_pos = rank_of s in
+      tasks :=
+        (fun () ->
+          Multiway.merge_pairs ~key ~payload ~runs:sub_runs ~dst_key:scratch_key
+            ~dst_payload:scratch_payload ~dst_pos)
+        :: !tasks
+    done;
+    Task_pool.run_list pool !tasks;
+    (* Copy the merged result back, in parallel chunks. *)
+    Task_pool.parallel_for pool ~lo:0 ~hi:total ~chunk:(max 1 (total / (4 * segments)))
+      (fun lo hi ->
+        Array.blit scratch_key lo key lo (hi - lo);
+        Array.blit scratch_payload lo payload lo (hi - lo))
+  end
+
+let sort_pairs pool ~key ~payload =
+  let runs = sort_runs pool ~key ~payload () in
+  merge_runs pool ~key ~payload ~runs
+
+let sort pool a =
+  let n = Array.length a in
+  if Task_pool.size pool = 1 || n <= Task_pool.default_task_size then Introsort.sort a
+  else begin
+    (* Reuse the stable pair machinery with a throwaway payload; simpler than
+       a third merge specialisation and only used on multi-core hosts. *)
+    let payload = Array.make n 0 in
+    sort_pairs pool ~key:a ~payload
+  end

@@ -1,0 +1,29 @@
+(** Parallel sorting: task-local introsort runs + balanced parallel multiway
+    merge (paper §5.2). The phases are exposed separately so that pipelines
+    can time them individually (Fig. 14). *)
+
+open Holistic_parallel
+
+val sort_runs :
+  Task_pool.t ->
+  ?task_size:int ->
+  key:int array ->
+  payload:int array ->
+  unit ->
+  Multiway.run array
+(** Sorts consecutive chunks of [task_size] (default {!Task_pool.default_task_size})
+    elements in parallel, each by [(key, payload)] lexicographically, and
+    returns the run descriptors. *)
+
+val merge_runs :
+  Task_pool.t -> key:int array -> payload:int array -> runs:Multiway.run array -> unit
+(** Merges the given sorted runs (which must tile the arrays) back into the
+    arrays, in parallel: the output is split at balanced global ranks and
+    each segment is merged by an independent task. *)
+
+val sort_pairs : Task_pool.t -> key:int array -> payload:int array -> unit
+(** [sort_runs] followed by [merge_runs]: a stable parallel sort by
+    [(key, payload)]. *)
+
+val sort : Task_pool.t -> int array -> unit
+(** Parallel ascending sort of a plain int array. *)

@@ -1,0 +1,1 @@
+lib/sql/planner.ml: Array Ast Column Executor Expr Hashtbl Holistic_sort Holistic_storage Holistic_window List Option Printf Sort_spec String Table Value Window_func Window_spec

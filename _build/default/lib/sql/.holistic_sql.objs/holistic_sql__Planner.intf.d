@@ -1,0 +1,1 @@
+lib/sql/planner.mli: Ast Holistic_parallel Holistic_storage Holistic_window Table

@@ -1,0 +1,1 @@
+lib/sql/sql.ml: Ast Buffer List Parser Planner Printf String

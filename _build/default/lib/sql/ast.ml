@@ -1,0 +1,66 @@
+(** Abstract syntax for the supported SQL subset: single-table SELECT with
+    window functions, including the paper's §2.4 extensions (DISTINCT
+    aggregates over windows, function-local ORDER BY, FILTER, frame
+    exclusion, named WINDOW clauses). *)
+
+type expr =
+  | Col of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Date_lit of string
+  | Interval_lit of string
+  | Null_lit
+  | Bool_lit of bool
+  | Unop of string * expr
+  | Binop of string * expr * expr
+  | Func of string * expr list  (** scalar functions: mod, abs, … *)
+  | Is_null of expr * bool  (** [bool] = negated (IS NOT NULL) *)
+  | Case of (expr * expr) list * expr option  (** searched CASE WHEN *)
+
+type order_key = { expr : expr; desc : bool; nulls_first : bool option }
+
+type frame_bound =
+  | Unbounded_preceding
+  | Preceding of expr
+  | Current_row
+  | Following of expr
+  | Unbounded_following
+
+type frame_exclusion = No_others | Current_row_x | Group_x | Ties_x
+
+type frame = {
+  mode : [ `Rows | `Range | `Groups ];
+  start_bound : frame_bound;
+  end_bound : frame_bound;
+  exclusion : frame_exclusion;
+}
+
+type window = {
+  base : string option;  (** references a named window *)
+  partition_by : expr list;
+  order_by : order_key list;
+  frame : frame option;
+}
+
+type window_call = {
+  func : string;
+  distinct : bool;
+  args : expr list;
+  arg_order_by : order_key list;  (** the function-local ORDER BY (§2.4) *)
+  ignore_nulls : bool;
+  from_last : bool;  (** NTH_VALUE(…) FROM LAST *)
+  filter : expr option;
+  over : window;
+}
+
+type select_item = { value : [ `Expr of expr | `Window of window_call ]; alias : string option }
+
+type query = {
+  select : select_item list;
+  from : string;
+  where : expr option;
+  windows : (string * window) list;  (** WINDOW w AS (…) clauses *)
+  order_by : order_key list;  (** final output order *)
+  limit : int option;
+}

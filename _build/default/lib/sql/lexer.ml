@@ -1,0 +1,92 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Symbol of string
+  | Eof
+
+exception Error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit tok pos = tokens := (tok, pos) :: !tokens in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    let start = !pos in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '-' && peek 1 = Some '-' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if is_ident_start c then begin
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      emit (Ident (String.lowercase_ascii (String.sub src start (!pos - start)))) start
+    end
+    else if is_digit c then begin
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      let is_float = !pos < n && src.[!pos] = '.' && (match peek 1 with Some d -> is_digit d | None -> false) in
+      if is_float then begin
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done;
+        emit (Float_lit (float_of_string (String.sub src start (!pos - start)))) start
+      end
+      else emit (Int_lit (int_of_string (String.sub src start (!pos - start)))) start
+    end
+    else if c = '\'' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !pos >= n then raise (Error ("unterminated string literal", start));
+        if src.[!pos] = '\'' then
+          if peek 1 = Some '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2
+          end
+          else begin
+            closed := true;
+            incr pos
+          end
+        else begin
+          Buffer.add_char buf src.[!pos];
+          incr pos
+        end
+      done;
+      emit (String_lit (Buffer.contents buf)) start
+    end
+    else if c = '"' then begin
+      incr pos;
+      let e = try String.index_from src !pos '"' with Not_found -> raise (Error ("unterminated quoted identifier", start)) in
+      emit (Ident (String.sub src !pos (e - !pos))) start;
+      pos := e + 1
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      match two with
+      | "<=" | ">=" | "<>" | "!=" ->
+          emit (Symbol (if two = "!=" then "<>" else two)) start;
+          pos := !pos + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | ',' | '*' | '+' | '-' | '/' | '%' | '<' | '>' | '=' | '.' ->
+              emit (Symbol (String.make 1 c)) start;
+              incr pos
+          | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, start)))
+    end
+  done;
+  List.rev ((Eof, n) :: !tokens)

@@ -1,0 +1,16 @@
+(** SQL tokenizer for the window-function subset. *)
+
+type token =
+  | Ident of string  (** lowercased; quoted identifiers keep case *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Symbol of string  (** punctuation and operators: ( ) , * + - / < <= = <> >= > . *)
+  | Eof
+
+exception Error of string * int  (** message, character offset *)
+
+val tokenize : string -> (token * int) list
+(** Tokens with their character offsets; comments ([-- …]) and whitespace
+    are skipped. Keywords are returned as [Ident] (the parser matches them
+    case-insensitively). @raise Error on malformed input. *)

@@ -1,0 +1,487 @@
+exception Error of string * int
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let reserved =
+  [ "select"; "from"; "where"; "window"; "as"; "order"; "by"; "partition"; "rows"; "range";
+    "groups"; "between"; "and"; "or"; "not"; "unbounded"; "preceding"; "following"; "current";
+    "row"; "exclude"; "ties"; "no"; "others"; "filter"; "over"; "distinct"; "ignore"; "respect";
+    "nulls"; "is"; "limit"; "asc"; "desc"; "first"; "last"; "group"; "case"; "when"; "then";
+    "else"; "end"; "in" ]
+
+let peek st = fst st.toks.(st.pos)
+let offset st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let error st msg = raise (Error (msg, offset st))
+
+let accept_symbol st s =
+  match peek st with
+  | Lexer.Symbol x when x = s ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_symbol st s =
+  if not (accept_symbol st s) then error st (Printf.sprintf "expected %S" s)
+
+let accept_kw st kw =
+  match peek st with
+  | Lexer.Ident x when x = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_kw st kw = if not (accept_kw st kw) then error st (Printf.sprintf "expected %s" (String.uppercase_ascii kw))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.Ident x when not (List.mem x reserved) ->
+      advance st;
+      x
+  | _ -> error st "expected identifier"
+
+let expect_string st =
+  match peek st with
+  | Lexer.String_lit s ->
+      advance st;
+      s
+  | _ -> error st "expected string literal"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if accept_kw st "or" then Ast.Binop ("or", lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept_kw st "and" then Ast.Binop ("and", lhs, parse_and st) else lhs
+
+and parse_not st = if accept_kw st "not" then Ast.Unop ("not", parse_not st) else parse_predicate st
+
+and parse_predicate st =
+  let lhs = parse_additive st in
+  match peek st with
+  | Lexer.Symbol (("<" | "<=" | "=" | "<>" | ">=" | ">") as op) ->
+      advance st;
+      Ast.Binop (op, lhs, parse_additive st)
+  | Lexer.Ident "is" ->
+      advance st;
+      let negated = accept_kw st "not" in
+      expect_kw st "null";
+      Ast.Is_null (lhs, negated)
+  | Lexer.Ident "between" ->
+      advance st;
+      let a = parse_additive st in
+      expect_kw st "and";
+      let b = parse_additive st in
+      Ast.Binop ("and", Ast.Binop (">=", lhs, a), Ast.Binop ("<=", lhs, b))
+  | Lexer.Ident "in" ->
+      advance st;
+      parse_in_list st lhs ~negated:false
+  | Lexer.Ident "not" when (match fst st.toks.(st.pos + 1) with Lexer.Ident "in" -> true | _ -> false) ->
+      advance st;
+      advance st;
+      parse_in_list st lhs ~negated:true
+  | _ -> lhs
+
+(* x IN (a, b, c) desugars to an OR chain of equalities *)
+and parse_in_list st lhs ~negated =
+  expect_symbol st "(";
+  let rec members acc =
+    let e = parse_additive st in
+    if accept_symbol st "," then members (e :: acc)
+    else begin
+      expect_symbol st ")";
+      List.rev (e :: acc)
+    end
+  in
+  let members = members [] in
+  let disjunction =
+    List.fold_left
+      (fun acc m ->
+        let eq = Ast.Binop ("=", lhs, m) in
+        match acc with None -> Some eq | Some a -> Some (Ast.Binop ("or", a, eq)))
+      None members
+  in
+  let e = Option.get disjunction in
+  if negated then Ast.Unop ("not", e) else e
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lexer.Symbol (("+" | "-") as op) ->
+        advance st;
+        lhs := Ast.Binop (op, !lhs, parse_multiplicative st)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lexer.Symbol (("*" | "/" | "%") as op) ->
+        advance st;
+        lhs := Ast.Binop (op, !lhs, parse_unary st)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  if accept_symbol st "-" then Ast.Unop ("-", parse_unary st) else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Int_lit v ->
+      advance st;
+      Ast.Int_lit v
+  | Lexer.Float_lit v ->
+      advance st;
+      Ast.Float_lit v
+  | Lexer.String_lit s ->
+      advance st;
+      Ast.String_lit s
+  | Lexer.Symbol "(" ->
+      advance st;
+      let e = parse_or st in
+      expect_symbol st ")";
+      e
+  | Lexer.Ident "null" ->
+      advance st;
+      Ast.Null_lit
+  | Lexer.Ident "true" ->
+      advance st;
+      Ast.Bool_lit true
+  | Lexer.Ident "false" ->
+      advance st;
+      Ast.Bool_lit false
+  | Lexer.Ident "date" ->
+      advance st;
+      Ast.Date_lit (expect_string st)
+  | Lexer.Ident "interval" ->
+      advance st;
+      Ast.Interval_lit (expect_string st)
+  | Lexer.Ident "case" ->
+      advance st;
+      let rec branches acc =
+        if accept_kw st "when" then begin
+          let c = parse_or st in
+          expect_kw st "then";
+          let v = parse_or st in
+          branches ((c, v) :: acc)
+        end
+        else List.rev acc
+      in
+      let branches = branches [] in
+      if branches = [] then error st "CASE requires at least one WHEN branch";
+      let else_ = if accept_kw st "else" then Some (parse_or st) else None in
+      expect_kw st "end";
+      Ast.Case (branches, else_)
+  | Lexer.Ident f when not (List.mem f reserved) ->
+      advance st;
+      if accept_symbol st "(" then begin
+        let args =
+          if accept_symbol st ")" then []
+          else begin
+            let rec go acc =
+              let e = parse_or st in
+              if accept_symbol st "," then go (e :: acc) else (expect_symbol st ")"; List.rev (e :: acc))
+            in
+            go []
+          end
+        in
+        Ast.Func (f, args)
+      end
+      else Ast.Col f
+  | _ -> error st "expected expression"
+
+let parse_order_key st =
+  let expr = parse_or st in
+  let desc = if accept_kw st "desc" then true else (ignore (accept_kw st "asc"); false) in
+  let nulls_first =
+    if accept_kw st "nulls" then
+      if accept_kw st "first" then Some true
+      else begin
+        expect_kw st "last";
+        Some false
+      end
+    else None
+  in
+  { Ast.expr; desc; nulls_first }
+
+let parse_order_list st =
+  let rec go acc =
+    let k = parse_order_key st in
+    if accept_symbol st "," then go (k :: acc) else List.rev (k :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Window definitions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let parse_frame_bound st =
+  if accept_kw st "unbounded" then
+    if accept_kw st "preceding" then Ast.Unbounded_preceding
+    else begin
+      expect_kw st "following";
+      Ast.Unbounded_following
+    end
+  else if accept_kw st "current" then begin
+    expect_kw st "row";
+    Ast.Current_row
+  end
+  else begin
+    let e = parse_or st in
+    if accept_kw st "preceding" then Ast.Preceding e
+    else begin
+      expect_kw st "following";
+      Ast.Following e
+    end
+  end
+
+let parse_frame st mode =
+  let start_bound, end_bound =
+    if accept_kw st "between" then begin
+      let s = parse_frame_bound st in
+      expect_kw st "and";
+      let e = parse_frame_bound st in
+      (s, e)
+    end
+    else (parse_frame_bound st, Ast.Current_row)
+  in
+  let exclusion =
+    if accept_kw st "exclude" then
+      if accept_kw st "current" then begin
+        expect_kw st "row";
+        Ast.Current_row_x
+      end
+      else if accept_kw st "group" then Ast.Group_x
+      else if accept_kw st "ties" then Ast.Ties_x
+      else begin
+        expect_kw st "no";
+        expect_kw st "others";
+        Ast.No_others
+      end
+    else Ast.No_others
+  in
+  { Ast.mode; start_bound; end_bound; exclusion }
+
+let parse_window_def st =
+  let base =
+    match peek st with
+    | Lexer.Ident x when not (List.mem x reserved) ->
+        advance st;
+        Some x
+    | _ -> None
+  in
+  let partition_by =
+    if accept_kw st "partition" then begin
+      expect_kw st "by";
+      let rec go acc =
+        let e = parse_or st in
+        if accept_symbol st "," then go (e :: acc) else List.rev (e :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  let order_by =
+    if accept_kw st "order" then begin
+      expect_kw st "by";
+      parse_order_list st
+    end
+    else []
+  in
+  let frame =
+    if accept_kw st "rows" then Some (parse_frame st `Rows)
+    else if accept_kw st "range" then Some (parse_frame st `Range)
+    else if accept_kw st "groups" then Some (parse_frame st `Groups)
+    else None
+  in
+  { Ast.base; partition_by; order_by; frame }
+
+(* ------------------------------------------------------------------ *)
+(* Window function calls                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* parse "f(...)" where the argument list may carry DISTINCT, '*' and a
+   trailing ORDER BY, then the optional IGNORE NULLS / FILTER / OVER tail *)
+let parse_call st f =
+  expect_symbol st "(";
+  let distinct = accept_kw st "distinct" in
+  let args, arg_order_by =
+    if accept_symbol st ")" then ([], [])
+    else if accept_symbol st "*" then begin
+      expect_symbol st ")";
+      ([ Ast.Col "*" ], [])
+    end
+    else begin
+      let rec go acc =
+        if accept_kw st "order" then begin
+          expect_kw st "by";
+          let keys = parse_order_list st in
+          expect_symbol st ")";
+          (List.rev acc, keys)
+        end
+        else begin
+          let e = parse_or st in
+          if accept_symbol st "," then go (e :: acc)
+          else if accept_kw st "order" then begin
+            expect_kw st "by";
+            let keys = parse_order_list st in
+            expect_symbol st ")";
+            (List.rev (e :: acc), keys)
+          end
+          else begin
+            expect_symbol st ")";
+            (List.rev (e :: acc), [])
+          end
+        end
+      in
+      go []
+    end
+  in
+  let from_last =
+    if accept_kw st "from" then
+      if accept_kw st "last" then true
+      else begin
+        expect_kw st "first";
+        false
+      end
+    else false
+  in
+  let ignore_nulls =
+    if accept_kw st "ignore" then begin
+      expect_kw st "nulls";
+      true
+    end
+    else begin
+      if accept_kw st "respect" then expect_kw st "nulls";
+      false
+    end
+  in
+  let filter =
+    if accept_kw st "filter" then begin
+      expect_symbol st "(";
+      expect_kw st "where";
+      let e = parse_or st in
+      expect_symbol st ")";
+      Some e
+    end
+    else None
+  in
+  if accept_kw st "over" then begin
+    let over =
+      match peek st with
+      | Lexer.Symbol "(" ->
+          advance st;
+          let w = parse_window_def st in
+          expect_symbol st ")";
+          w
+      | Lexer.Ident name when not (List.mem name reserved) ->
+          advance st;
+          { Ast.base = Some name; partition_by = []; order_by = []; frame = None }
+      | _ -> error st "expected window name or definition after OVER"
+    in
+    `Window { Ast.func = f; distinct; args; arg_order_by; ignore_nulls; from_last; filter; over }
+  end
+  else if distinct || arg_order_by <> [] || ignore_nulls || from_last || filter <> None then
+    error st "DISTINCT/ORDER BY/IGNORE NULLS/FILTER require an OVER clause"
+  else `Expr (Ast.Func (f, args))
+
+(* A select item is either a scalar expression or a top-level window call.
+   Try the expression parser first; if the item continues with OVER / FILTER
+   / IGNORE NULLS (or used window-only syntax such as DISTINCT inside the
+   call), re-parse it as a window call. *)
+let parse_select_item st =
+  let saved = st.pos in
+  let as_window () =
+    st.pos <- saved;
+    match peek st, fst st.toks.(st.pos + 1) with
+    | Lexer.Ident f, Lexer.Symbol "(" when not (List.mem f reserved) ->
+        advance st;
+        parse_call st f
+    | _ -> error st "expected a window function call"
+  in
+  let value =
+    match (try `Ok (parse_or st) with Error _ -> `Retry) with
+    | `Ok e -> begin
+        match peek st with
+        | Lexer.Ident ("over" | "filter" | "ignore" | "respect") -> as_window ()
+        | Lexer.Ident "from"
+          when (match fst st.toks.(st.pos + 1) with
+               | Lexer.Ident ("first" | "last") -> true
+               | _ -> false) ->
+            as_window ()
+        | _ -> `Expr e
+      end
+    | `Retry -> as_window ()
+  in
+  let alias = if accept_kw st "as" then Some (expect_ident st) else None in
+  { Ast.value; alias }
+
+let parse_query st =
+  expect_kw st "select";
+  let rec items acc =
+    let it = parse_select_item st in
+    if accept_symbol st "," then items (it :: acc) else List.rev (it :: acc)
+  in
+  let select = items [] in
+  expect_kw st "from";
+  let from = expect_ident st in
+  let where = if accept_kw st "where" then Some (parse_or st) else None in
+  let windows =
+    if accept_kw st "window" then begin
+      let rec go acc =
+        let name = expect_ident st in
+        expect_kw st "as";
+        expect_symbol st "(";
+        let w = parse_window_def st in
+        expect_symbol st ")";
+        if accept_symbol st "," then go ((name, w) :: acc) else List.rev ((name, w) :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  let order_by =
+    if accept_kw st "order" then begin
+      expect_kw st "by";
+      parse_order_list st
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "limit" then begin
+      match peek st with
+      | Lexer.Int_lit v ->
+          advance st;
+          Some v
+      | _ -> error st "expected integer after LIMIT"
+    end
+    else None
+  in
+  (match peek st with Lexer.Eof -> () | _ -> error st "unexpected trailing input");
+  { Ast.select; from; where; windows; order_by; limit }
+
+let make_state src = { toks = Array.of_list (Lexer.tokenize src); pos = 0 }
+
+let parse src =
+  try parse_query (make_state src) with Lexer.Error (msg, off) -> raise (Error (msg, off))
+
+let parse_expr src =
+  try
+    let st = make_state src in
+    let e = parse_or st in
+    match peek st with
+    | Lexer.Eof -> e
+    | _ -> error st "unexpected trailing input"
+  with Lexer.Error (msg, off) -> raise (Error (msg, off))

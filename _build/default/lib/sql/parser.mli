@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the window-function SQL subset.
+
+    Accepts the paper's proposed extensions everywhere the PostgreSQL
+    grammar would (§2.4): [DISTINCT] and [ORDER BY] inside any window
+    function call, [FILTER (WHERE …)], full frame clauses with [EXCLUDE],
+    and named [WINDOW w AS (…)] definitions. *)
+
+exception Error of string * int
+(** message, character offset into the source *)
+
+val parse : string -> Ast.query
+(** @raise Error on syntax errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a standalone scalar expression (for tests and the CLI). *)

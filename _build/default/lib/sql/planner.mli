@@ -1,0 +1,21 @@
+(** Semantic analysis and execution of parsed queries: resolves columns and
+    named windows, lowers AST expressions to {!Holistic_storage.Expr},
+    window calls to {!Holistic_window.Window_func} items, groups calls by
+    window specification and runs the window operator once per group. *)
+
+open Holistic_storage
+
+exception Error of string
+
+val run :
+  ?pool:Holistic_parallel.Task_pool.t ->
+  ?fanout:int ->
+  ?sample:int ->
+  ?task_size:int ->
+  ?algorithm:Holistic_window.Window_func.algorithm ->
+  tables:(string * Table.t) list ->
+  Ast.query ->
+  Table.t
+(** Executes the query; [algorithm] overrides the evaluation algorithm of
+    every window function (for the CLI's --algorithm flag).
+    @raise Error on unknown tables/columns/functions or malformed calls. *)

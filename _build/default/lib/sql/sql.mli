@@ -1,0 +1,41 @@
+(** Front door of the SQL layer: parse and execute the window-function SQL
+    subset, including the paper's proposed extensions (§2.4) — framed
+    DISTINCT aggregates, framed percentiles/ranks/value functions with a
+    second ORDER BY, FILTER, frame exclusion, named WINDOW clauses.
+
+    {[
+      let result =
+        Sql.query
+          ~tables:[ ("lineitem", lineitem) ]
+          "select l_shipdate, \
+                  percentile_disc(0.99 order by l_receiptdate - l_shipdate) over w \
+           from lineitem \
+           window w as (order by l_shipdate \
+                        range between interval '1 week' preceding and current row)"
+    ]} *)
+
+open Holistic_storage
+
+exception Parse_error of string * int  (** message, character offset *)
+
+exception Semantic_error of string
+
+val query :
+  ?pool:Holistic_parallel.Task_pool.t ->
+  ?fanout:int ->
+  ?sample:int ->
+  ?task_size:int ->
+  ?algorithm:Holistic_window.Window_func.algorithm ->
+  tables:(string * Table.t) list ->
+  string ->
+  Table.t
+(** Parses and executes one SELECT statement against the named tables. *)
+
+val explain : string -> string
+(** Parses the statement and renders the recognised structure (for the CLI
+    and tests). *)
+
+val print_query : Ast.query -> string
+(** Renders a query AST back to SQL text; [parse (print_query q)] yields a
+    query equal to [q] (the parser round-trip property checked by the test
+    suite). *)

@@ -1,0 +1,1 @@
+lib/storage/column.ml: Array Hashtbl Holistic_util Option Value

@@ -1,0 +1,1 @@
+lib/storage/csv.ml: Array Buffer Column Fun Holistic_util In_channel List Printf String Table Value

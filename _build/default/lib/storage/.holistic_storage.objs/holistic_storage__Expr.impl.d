@@ -1,0 +1,1 @@
+lib/storage/expr.ml: Column Float List Option Printf String Table Value

@@ -1,0 +1,1 @@
+lib/storage/sort_spec.ml: Column Expr List Table Value

@@ -1,0 +1,1 @@
+lib/storage/sort_spec.mli: Expr Table

@@ -1,0 +1,149 @@
+module Bitset = Holistic_util.Bitset
+
+type data =
+  | Ints of int array
+  | Floats of float array
+  | Strings of string array
+  | Bools of bool array
+  | Dates of int array
+
+type t = { data : data; nulls : Bitset.t option }
+
+let data_length = function
+  | Ints a -> Array.length a
+  | Floats a -> Array.length a
+  | Strings a -> Array.length a
+  | Bools a -> Array.length a
+  | Dates a -> Array.length a
+
+let make ?nulls data =
+  (match nulls with
+  | Some mask when Bitset.length mask <> data_length data ->
+      invalid_arg "Column.make: null mask length mismatch"
+  | _ -> ());
+  { data; nulls }
+
+let length t = data_length t.data
+let data t = t.data
+let null_mask t = t.nulls
+let is_null t i = match t.nulls with None -> false | Some m -> Bitset.get m i
+
+let get t i =
+  if is_null t i then Value.Null
+  else
+    match t.data with
+    | Ints a -> Value.Int a.(i)
+    | Floats a -> Value.Float a.(i)
+    | Strings a -> Value.String a.(i)
+    | Bools a -> Value.Bool a.(i)
+    | Dates a -> Value.Date a.(i)
+
+let ints a = make (Ints a)
+let floats a = make (Floats a)
+let strings a = make (Strings a)
+let dates a = make (Dates a)
+
+let of_values values =
+  let n = Array.length values in
+  let nulls = Bitset.create n in
+  let has_null = ref false in
+  Array.iteri
+    (fun i v ->
+      if Value.is_null v then begin
+        Bitset.set nulls i;
+        has_null := true
+      end)
+    values;
+  let first_non_null = Array.find_opt (fun v -> not (Value.is_null v)) values in
+  let data =
+    match first_non_null with
+    | None | Some Value.Null | Some (Value.Int _) ->
+        Ints (Array.map (function Value.Int x -> x | Value.Null -> 0 | _ -> invalid_arg "Column.of_values: mixed types") values)
+    | Some (Value.Float _) ->
+        Floats
+          (Array.map
+             (function
+               | Value.Float x -> x
+               | Value.Int x -> float_of_int x
+               | Value.Null -> 0.0
+               | _ -> invalid_arg "Column.of_values: mixed types")
+             values)
+    | Some (Value.String _) ->
+        Strings
+          (Array.map
+             (function Value.String s -> s | Value.Null -> "" | _ -> invalid_arg "Column.of_values: mixed types")
+             values)
+    | Some (Value.Bool _) ->
+        Bools
+          (Array.map
+             (function Value.Bool b -> b | Value.Null -> false | _ -> invalid_arg "Column.of_values: mixed types")
+             values)
+    | Some (Value.Date _) ->
+        Dates
+          (Array.map
+             (function Value.Date d -> d | Value.Null -> 0 | _ -> invalid_arg "Column.of_values: mixed types")
+             values)
+    | Some (Value.Interval _) -> invalid_arg "Column.of_values: interval columns unsupported"
+  in
+  make ?nulls:(if !has_null then Some nulls else None) data
+
+let float_at t i =
+  if is_null t i then nan
+  else
+    match t.data with
+    | Floats a -> a.(i)
+    | Ints a -> float_of_int a.(i)
+    | Dates a -> float_of_int a.(i)
+    | Strings _ | Bools _ -> invalid_arg "Column.float_at: non-numeric column"
+
+let take t rows =
+  let gather : 'a. 'a array -> 'a array = fun a -> Array.map (fun i -> a.(i)) rows in
+  let data =
+    match t.data with
+    | Ints a -> Ints (gather a)
+    | Floats a -> Floats (gather a)
+    | Strings a -> Strings (gather a)
+    | Bools a -> Bools (gather a)
+    | Dates a -> Dates (gather a)
+  in
+  let nulls =
+    Option.map
+      (fun m ->
+        let m' = Bitset.create (Array.length rows) in
+        Array.iteri (fun j i -> if Bitset.get m i then Bitset.set m' j) rows;
+        m')
+      t.nulls
+  in
+  make ?nulls data
+
+let distinct_ids t =
+  let n = length t in
+  let null_id = min_int in
+  match t.data, t.nulls with
+  | Ints a, None -> Array.copy a
+  | Dates a, None -> Array.copy a
+  | Ints a, Some m -> Array.init n (fun i -> if Bitset.get m i then null_id else a.(i))
+  | Dates a, Some m -> Array.init n (fun i -> if Bitset.get m i then null_id else a.(i))
+  | Bools a, _ -> Array.init n (fun i -> if is_null t i then null_id else if a.(i) then 1 else 0)
+  | Floats a, _ ->
+      let table = Hashtbl.create (2 * n) in
+      Array.init n (fun i ->
+          if is_null t i then null_id
+          else
+            match Hashtbl.find_opt table a.(i) with
+            | Some id -> id
+            | None ->
+                let id = Hashtbl.length table in
+                Hashtbl.add table a.(i) id;
+                id)
+  | Strings a, _ ->
+      let table = Hashtbl.create (2 * n) in
+      Array.init n (fun i ->
+          if is_null t i then null_id
+          else
+            match Hashtbl.find_opt table a.(i) with
+            | Some id -> id
+            | None ->
+                let id = Hashtbl.length table in
+                Hashtbl.add table a.(i) id;
+                id)

@@ -1,0 +1,47 @@
+(** Typed columnar storage with NULL masks. *)
+
+type data =
+  | Ints of int array
+  | Floats of float array
+  | Strings of string array
+  | Bools of bool array
+  | Dates of int array
+
+type t
+
+val make : ?nulls:Holistic_util.Bitset.t -> data -> t
+(** [nulls] marks NULL rows (set bit = NULL); it must match the data
+    length. *)
+
+val length : t -> int
+val data : t -> data
+val null_mask : t -> Holistic_util.Bitset.t option
+val is_null : t -> int -> bool
+
+val get : t -> int -> Value.t
+(** Boxed row access (slow path; hot paths use {!data} directly). *)
+
+val of_values : Value.t array -> t
+(** Infers the column type from the first non-NULL value.
+    @raise Invalid_argument on mixed types. *)
+
+val ints : int array -> t
+val floats : float array -> t
+val strings : string array -> t
+val dates : int array -> t
+
+val float_at : t -> int -> float
+(** Numeric read with Int→Float widening; NULL reads as [nan].
+    @raise Invalid_argument for non-numeric columns. *)
+
+val take : t -> int array -> t
+(** [take c rows] gathers the given row indices into a fresh column
+    (projection/selection support for the SQL layer). *)
+
+val distinct_ids : t -> int array
+(** Dense integer equality keys: two rows receive the same id iff their
+    values are SQL-equal (NULLs all share one id; callers filter NULLs for
+    NULL-ignoring semantics). For [Ints]/[Dates] columns this is the raw
+    value; other types go through an exact hash table, so — unlike the
+    paper's sort-the-hashes shortcut (§6.7) — hash collisions cannot corrupt
+    distinct counts. *)

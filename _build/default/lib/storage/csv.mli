@@ -1,0 +1,14 @@
+(** Typed CSV persistence for tables.
+
+    The header carries column types as [name:type] with
+    [type ∈ int | float | string | bool | date]; empty cells are NULL.
+    Fields containing commas, quotes or newlines are double-quoted.
+    Limitation: an empty string value round-trips as NULL. *)
+
+val write : out_channel -> Table.t -> unit
+
+val read : in_channel -> Table.t
+(** @raise Failure on malformed input. *)
+
+val save : string -> Table.t -> unit
+val load : string -> Table.t

@@ -1,0 +1,174 @@
+type t =
+  | Col of string
+  | Const of Value.t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Neg of t
+  | Eq of t * t
+  | Ne of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Gt of t * t
+  | Ge of t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Is_not_null of t
+  | Case of (t * t) list * t option
+  | Abs of t
+  | Greatest of t list
+  | Least of t list
+
+let sql_abs = function
+  | Value.Null -> Value.Null
+  | Value.Int x -> Value.Int (abs x)
+  | Value.Float x -> Value.Float (Float.abs x)
+  | _ -> invalid_arg "Expr: abs on non-numeric operand"
+
+(* GREATEST/LEAST ignore NULLs per SQL (NULL only when all are NULL) *)
+let sql_extreme keep vs =
+  List.fold_left
+    (fun acc v ->
+      if Value.is_null v then acc
+      else if Value.is_null acc then v
+      else if keep (Value.compare_sql ~nulls_last:true v acc) then v
+      else acc)
+    Value.Null vs
+
+let sql_mod a b =
+  match a, b with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int _, Value.Int 0 -> Value.Null
+  | Value.Int x, Value.Int y -> Value.Int (x mod y)
+  | Value.Float x, Value.Float y -> Value.Float (Float.rem x y)
+  | Value.Int x, Value.Float y -> Value.Float (Float.rem (float_of_int x) y)
+  | Value.Float x, Value.Int y -> Value.Float (Float.rem x (float_of_int y))
+  | _ -> invalid_arg "Expr: mod on non-numeric operands"
+
+(* SQL comparison: NULL operands yield NULL. *)
+let cmp3 op a b =
+  if Value.is_null a || Value.is_null b then Value.Null
+  else Value.Bool (op (Value.compare_sql ~nulls_last:true a b) 0)
+
+(* three-valued AND/OR *)
+let sql_and a b =
+  match a, b with
+  | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+  | Value.Bool true, Value.Bool true -> Value.Bool true
+  | _ -> Value.Null
+
+let sql_or a b =
+  match a, b with
+  | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+  | Value.Bool false, Value.Bool false -> Value.Bool false
+  | _ -> Value.Null
+
+let sql_not = function
+  | Value.Bool b -> Value.Bool (not b)
+  | Value.Null -> Value.Null
+  | _ -> invalid_arg "Expr: NOT on non-boolean"
+
+let rec compile table e =
+  match e with
+  | Col name ->
+      let c = Table.column table name in
+      fun i -> Column.get c i
+  | Const v -> fun _ -> v
+  | Add (a, b) -> bin table Value.add a b
+  | Sub (a, b) -> bin table Value.sub a b
+  | Mul (a, b) -> bin table Value.mul a b
+  | Div (a, b) -> bin table Value.div a b
+  | Mod (a, b) -> bin table sql_mod a b
+  | Neg a ->
+      let fa = compile table a in
+      fun i -> Value.neg (fa i)
+  | Eq (a, b) -> bin table (cmp3 ( = )) a b
+  | Ne (a, b) -> bin table (cmp3 ( <> )) a b
+  | Lt (a, b) -> bin table (cmp3 ( < )) a b
+  | Le (a, b) -> bin table (cmp3 ( <= )) a b
+  | Gt (a, b) -> bin table (cmp3 ( > )) a b
+  | Ge (a, b) -> bin table (cmp3 ( >= )) a b
+  | And (a, b) -> bin table sql_and a b
+  | Or (a, b) -> bin table sql_or a b
+  | Not a ->
+      let fa = compile table a in
+      fun i -> sql_not (fa i)
+  | Is_null a ->
+      let fa = compile table a in
+      fun i -> Value.Bool (Value.is_null (fa i))
+  | Is_not_null a ->
+      let fa = compile table a in
+      fun i -> Value.Bool (not (Value.is_null (fa i)))
+  | Case (branches, else_) ->
+      let compiled =
+        List.map (fun (c, v) -> (compile table c, compile table v)) branches
+      in
+      let felse = Option.map (compile table) else_ in
+      fun i ->
+        let rec go = function
+          | [] -> (match felse with Some f -> f i | None -> Value.Null)
+          | (fc, fv) :: rest -> if to_bool_v (fc i) then fv i else go rest
+        in
+        go compiled
+  | Abs a ->
+      let fa = compile table a in
+      fun i -> sql_abs (fa i)
+  | Greatest args ->
+      let fs = List.map (compile table) args in
+      fun i -> sql_extreme (fun c -> c > 0) (List.map (fun f -> f i) fs)
+  | Least args ->
+      let fs = List.map (compile table) args in
+      fun i -> sql_extreme (fun c -> c < 0) (List.map (fun f -> f i) fs)
+
+and to_bool_v = function
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | _ -> invalid_arg "Expr: CASE condition is not boolean"
+
+and bin table op a b =
+  let fa = compile table a and fb = compile table b in
+  fun i -> op (fa i) (fb i)
+
+let eval table e i = compile table e i
+
+let to_bool = function
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | _ -> invalid_arg "Expr.to_bool: non-boolean value"
+
+let rec to_string = function
+  | Col c -> c
+  | Const v -> Value.to_string v
+  | Add (a, b) -> infix a "+" b
+  | Sub (a, b) -> infix a "-" b
+  | Mul (a, b) -> infix a "*" b
+  | Div (a, b) -> infix a "/" b
+  | Mod (a, b) -> Printf.sprintf "mod(%s, %s)" (to_string a) (to_string b)
+  | Neg a -> Printf.sprintf "(-%s)" (to_string a)
+  | Eq (a, b) -> infix a "=" b
+  | Ne (a, b) -> infix a "<>" b
+  | Lt (a, b) -> infix a "<" b
+  | Le (a, b) -> infix a "<=" b
+  | Gt (a, b) -> infix a ">" b
+  | Ge (a, b) -> infix a ">=" b
+  | And (a, b) -> infix a "and" b
+  | Or (a, b) -> infix a "or" b
+  | Not a -> Printf.sprintf "(not %s)" (to_string a)
+  | Is_null a -> Printf.sprintf "(%s is null)" (to_string a)
+  | Is_not_null a -> Printf.sprintf "(%s is not null)" (to_string a)
+  | Case (branches, else_) ->
+      Printf.sprintf "(case %s%s end)"
+        (String.concat " "
+           (List.map
+              (fun (c, v) -> Printf.sprintf "when %s then %s" (to_string c) (to_string v))
+              branches))
+        (match else_ with Some e -> " else " ^ to_string e | None -> "")
+  | Abs a -> Printf.sprintf "abs(%s)" (to_string a)
+  | Greatest args -> Printf.sprintf "greatest(%s)" (String.concat ", " (List.map to_string args))
+  | Least args -> Printf.sprintf "least(%s)" (String.concat ", " (List.map to_string args))
+
+and infix a op b = Printf.sprintf "(%s %s %s)" (to_string a) op (to_string b)

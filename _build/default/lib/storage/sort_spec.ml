@@ -1,0 +1,71 @@
+type direction = Asc | Desc
+type nulls_order = Nulls_default | Nulls_first | Nulls_last
+type key = { expr : Expr.t; direction : direction; nulls : nulls_order }
+type t = key list
+
+let asc ?(nulls = Nulls_default) expr = { expr; direction = Asc; nulls }
+let desc ?(nulls = Nulls_default) expr = { expr; direction = Desc; nulls }
+
+let nulls_last_flag key =
+  match key.nulls, key.direction with
+  | Nulls_last, _ -> true
+  | Nulls_first, _ -> false
+  | Nulls_default, Asc -> true
+  | Nulls_default, Desc -> false
+
+let comparator table spec =
+  let compiled =
+    List.map
+      (fun key ->
+        let f = Expr.compile table key.expr in
+        let nulls_last = nulls_last_flag key in
+        let sign = match key.direction with Asc -> 1 | Desc -> -1 in
+        fun i j ->
+          let a = f i and b = f j in
+          (* NULL placement is absolute (not flipped by DESC once resolved):
+             compare non-nulls under the direction, place NULLs per flag. *)
+          match Value.is_null a, Value.is_null b with
+          | true, true -> 0
+          | true, false -> if nulls_last then 1 else -1
+          | false, true -> if nulls_last then -1 else 1
+          | false, false -> sign * Value.compare_sql ~nulls_last:true a b)
+      spec
+  in
+  fun i j ->
+    let rec go = function
+      | [] -> 0
+      | f :: rest ->
+          let c = f i j in
+          if c <> 0 then c else go rest
+    in
+    go compiled
+
+type fast_key = Int_key of int array * bool | Float_key of float array * bool
+
+let fast_key table spec =
+  match spec with
+  | [ { expr = Expr.Col name; direction; nulls = Nulls_default } ] -> begin
+      match Table.column_opt table name with
+      | Some c when Column.null_mask c = None -> begin
+          let desc = direction = Desc in
+          match Column.data c with
+          | Column.Ints a | Column.Dates a -> Some (Int_key (a, desc))
+          | Column.Floats a -> Some (Float_key (a, desc))
+          | Column.Strings _ | Column.Bools _ -> None
+        end
+      | _ -> None
+    end
+  | _ -> None
+
+let single_int_key table spec =
+  match spec with
+  | [ { expr = Expr.Col name; direction = Asc; nulls = Nulls_default } ] -> begin
+      match Table.column_opt table name with
+      | Some c when Column.null_mask c = None -> begin
+          match Column.data c with
+          | Column.Ints a | Column.Dates a -> Some a
+          | Column.Floats _ | Column.Strings _ | Column.Bools _ -> None
+        end
+      | _ -> None
+    end
+  | _ -> None

@@ -1,0 +1,33 @@
+(** ORDER BY specifications and compiled row comparators. *)
+
+type direction = Asc | Desc
+
+type nulls_order =
+  | Nulls_default  (** SQL default: NULLS LAST for ASC, NULLS FIRST for DESC *)
+  | Nulls_first
+  | Nulls_last
+
+type key = { expr : Expr.t; direction : direction; nulls : nulls_order }
+
+type t = key list
+
+val asc : ?nulls:nulls_order -> Expr.t -> key
+val desc : ?nulls:nulls_order -> Expr.t -> key
+
+val comparator : Table.t -> t -> int -> int -> int
+(** [comparator table spec] is a compiled total preorder on row indices:
+    keys are evaluated once per comparison with column references resolved
+    up front. *)
+
+val single_int_key : Table.t -> t -> int array option
+(** When the spec is a single ascending, default-null, plain integer-kinded
+    column without NULLs, its raw key array — the fast path that skips
+    comparator-based preprocessing. *)
+
+type fast_key = Int_key of int array * bool | Float_key of float array * bool
+(** Raw key array plus a descending flag. *)
+
+val fast_key : Table.t -> t -> fast_key option
+(** Like {!single_int_key} but also matching descending order and float
+    columns: lets preprocessing compare unboxed keys instead of evaluating
+    expressions per comparison. NULL-bearing columns never match. *)

@@ -1,0 +1,50 @@
+type t = { columns : (string * Column.t) list; nrows : int }
+
+let create columns =
+  let nrows = match columns with [] -> 0 | (_, c) :: _ -> Column.length c in
+  List.iter
+    (fun (name, c) ->
+      if Column.length c <> nrows then
+        invalid_arg (Printf.sprintf "Table.create: column %S has %d rows, expected %d" name (Column.length c) nrows))
+    columns;
+  let names = List.map fst columns in
+  let sorted = List.sort_uniq compare names in
+  if List.length sorted <> List.length names then invalid_arg "Table.create: duplicate column name";
+  { columns; nrows }
+
+let nrows t = t.nrows
+let column_names t = List.map fst t.columns
+let column_opt t name = List.assoc_opt name t.columns
+
+let column t name =
+  match column_opt t name with
+  | Some c -> c
+  | None -> raise Not_found
+
+let add_column t name c =
+  create (t.columns @ [ (name, c) ])
+
+let columns t = t.columns
+
+let gather t rows =
+  { columns = List.map (fun (name, c) -> (name, Column.take c rows)) t.columns;
+    nrows = Array.length rows }
+
+let row_values t i = List.map (fun (_, c) -> Column.get c i) t.columns
+
+let print ?(max_rows = 20) ?(out = stdout) t =
+  let names = column_names t in
+  let shown = min max_rows t.nrows in
+  let rows = List.init shown (fun i -> List.map Value.to_string (row_values t i)) in
+  let widths =
+    List.mapi
+      (fun c name ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) (String.length name) rows)
+      names
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let line cells = String.concat " | " (List.map2 pad cells widths) in
+  Printf.fprintf out "%s\n" (line names);
+  Printf.fprintf out "%s\n" (String.concat "-+-" (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Printf.fprintf out "%s\n" (line row)) rows;
+  if shown < t.nrows then Printf.fprintf out "... (%d rows total)\n" t.nrows

@@ -1,0 +1,25 @@
+(** Named-column tables. *)
+
+type t
+
+val create : (string * Column.t) list -> t
+(** @raise Invalid_argument on duplicate names or ragged column lengths. *)
+
+val nrows : t -> int
+val column_names : t -> string list
+
+val column : t -> string -> Column.t
+(** @raise Not_found for unknown names. *)
+
+val column_opt : t -> string -> Column.t option
+val add_column : t -> string -> Column.t -> t
+val columns : t -> (string * Column.t) list
+
+val gather : t -> int array -> t
+(** Row selection: the table restricted to (and reordered by) the given row
+    indices. *)
+
+val row_values : t -> int -> Value.t list
+
+val print : ?max_rows:int -> ?out:out_channel -> t -> unit
+(** Debug/CLI pretty printer. *)

@@ -1,0 +1,166 @@
+type interval = { months : int; days : int }
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of int
+  | Interval of interval
+
+let is_null = function Null -> true | _ -> false
+
+let type_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Date _ -> 3
+  | String _ -> 4
+  | Interval _ -> 5
+
+let compare_non_null a b =
+  match a, b with
+  | Int x, Int y -> compare x y
+  | Float x, Float y -> compare x y
+  | Int x, Float y -> compare (float_of_int x) y
+  | Float x, Int y -> compare x (float_of_int y)
+  | Bool x, Bool y -> compare x y
+  | String x, String y -> compare x y
+  | Date x, Date y -> compare x y
+  | Interval x, Interval y -> compare ((x.months * 31) + x.days) ((y.months * 31) + y.days)
+  | _ -> compare (type_rank a) (type_rank b)
+
+let compare_sql ~nulls_last a b =
+  match a, b with
+  | Null, Null -> 0
+  | Null, _ -> if nulls_last then 1 else -1
+  | _, Null -> if nulls_last then -1 else 1
+  | _ -> compare_non_null a b
+
+let equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Null, _ | _, Null -> false
+  | _ -> compare_non_null a b = 0
+
+let hash = function
+  | Null -> 0x6e756c6c
+  | Bool b -> Hashtbl.hash (1, b)
+  | Int i -> Hashtbl.hash (2, float_of_int i)
+  | Float f ->
+      (* hash integral floats like the equal Int so that [equal]-compatible *)
+      if Float.is_integer f && Float.abs f < 1e18 then Hashtbl.hash (2, f)
+      else Hashtbl.hash (2, f)
+  | String s -> Hashtbl.hash (3, s)
+  | Date d -> Hashtbl.hash (4, d)
+  | Interval i -> Hashtbl.hash (5, (i.months * 31) + i.days)
+
+let arith_error op a b =
+  invalid_arg (Printf.sprintf "Value.%s: incompatible operands (%d, %d)" op (type_rank a) (type_rank b))
+
+(* --- calendar ------------------------------------------------------- *)
+
+(* Howard Hinnant's civil-calendar algorithms (days_from_civil and back). *)
+let date_of_ymd y m d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let ymd_of_date z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+let date_to_string z =
+  let y, m, d = ymd_of_date z in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0 then 29 else 28
+  | _ -> invalid_arg "days_in_month"
+
+let add_months date n =
+  let y, m, d = ymd_of_date date in
+  let months = ((y * 12) + (m - 1)) + n in
+  let y' = if months >= 0 then months / 12 else (months - 11) / 12 in
+  let m' = months - (y' * 12) + 1 in
+  let d' = min d (days_in_month y' m') in
+  date_of_ymd y' m' d'
+
+(* --- arithmetic ------------------------------------------------------ *)
+
+let add a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (x + y)
+  | Float x, Float y -> Float (x +. y)
+  | Int x, Float y -> Float (float_of_int x +. y)
+  | Float x, Int y -> Float (x +. float_of_int y)
+  | Date d, Interval i | Interval i, Date d -> Date (add_months d i.months + i.days)
+  | Date d, Int x | Int x, Date d -> Date (d + x)
+  | Interval x, Interval y -> Interval { months = x.months + y.months; days = x.days + y.days }
+  | _ -> arith_error "add" a b
+
+let sub a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (x - y)
+  | Float x, Float y -> Float (x -. y)
+  | Int x, Float y -> Float (float_of_int x -. y)
+  | Float x, Int y -> Float (x -. float_of_int y)
+  | Date d, Interval i -> Date (add_months d (-i.months) - i.days)
+  | Date d, Int x -> Date (d - x)
+  | Date x, Date y -> Int (x - y)
+  | Interval x, Interval y -> Interval { months = x.months - y.months; days = x.days - y.days }
+  | _ -> arith_error "sub" a b
+
+let mul a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (x * y)
+  | Float x, Float y -> Float (x *. y)
+  | Int x, Float y -> Float (float_of_int x *. y)
+  | Float x, Int y -> Float (x *. float_of_int y)
+  | Interval i, Int x | Int x, Interval i -> Interval { months = i.months * x; days = i.days * x }
+  | _ -> arith_error "mul" a b
+
+let div a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int _, Int 0 -> Null
+  | Int x, Int y -> Int (x / y)
+  | Float x, Float y -> Float (x /. y)
+  | Int x, Float y -> Float (float_of_int x /. y)
+  | Float x, Int y -> Float (x /. float_of_int y)
+  | _ -> arith_error "div" a b
+
+let neg = function
+  | Null -> Null
+  | Int x -> Int (-x)
+  | Float x -> Float (-.x)
+  | Interval i -> Interval { months = -i.months; days = -i.days }
+  | v -> arith_error "neg" v v
+
+let to_string = function
+  | Null -> "NULL"
+  | Bool b -> if b then "true" else "false"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | String s -> s
+  | Date d -> date_to_string d
+  | Interval { months; days } -> Printf.sprintf "%d mons %d days" months days

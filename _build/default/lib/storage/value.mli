@@ -1,0 +1,61 @@
+(** SQL values with SQL-conformant comparison, arithmetic and hashing.
+
+    Dates are days since 1970-01-01; intervals carry calendar months and
+    days separately so that ['1 month' preceding] RANGE frames follow
+    calendar arithmetic. *)
+
+type interval = { months : int; days : int }
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of int
+  | Interval of interval
+
+val is_null : t -> bool
+
+val compare_sql : nulls_last:bool -> t -> t -> int
+(** Total order used for sorting: numeric types compare numerically across
+    [Int]/[Float], NULLs sort after everything when [nulls_last] (SQL's
+    default for ascending order), before otherwise. Distinct types without a
+    SQL ordering (e.g. [Bool] vs [String]) fall back to a fixed type rank so
+    the order stays total. *)
+
+val equal : t -> t -> bool
+(** SQL equality for grouping/distinct purposes: NULL equals NULL here (SQL
+    treats NULLs as "not distinct" in grouping), numerics compare across
+    widths. *)
+
+val hash : t -> int
+(** Hash compatible with {!equal}; used to reduce arbitrary values to
+    integers before the prev-occurrence sort (§6.7). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** SQL arithmetic: NULL-propagating, [Int]/[Float] promotion, [Date] ±
+    [Interval] and [Date] − [Date] (day count). @raise Invalid_argument on
+    type mismatches. *)
+
+val neg : t -> t
+
+val to_string : t -> string
+
+(** Civil-calendar helpers. *)
+
+val date_of_ymd : int -> int -> int -> int
+(** [date_of_ymd y m d] is the day count since 1970-01-01 (proleptic
+    Gregorian). *)
+
+val ymd_of_date : int -> int * int * int
+
+val date_to_string : int -> string
+(** ISO format [YYYY-MM-DD]. *)
+
+val add_months : int -> int -> int
+(** [add_months date n] advances [n] calendar months, clamping the day of
+    month (Jan 31 + 1 month = Feb 28/29), SQL style. *)

@@ -1,0 +1,28 @@
+(** Fixed-capacity mutable bitsets, used for NULL masks and row filters. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a bitset of capacity [n] with all bits cleared. *)
+
+val length : t -> int
+(** Capacity given at creation time. *)
+
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val get : t -> int -> bool
+
+val set_all : t -> unit
+val clear_all : t -> unit
+
+val count : t -> int
+(** Number of set bits. *)
+
+val copy : t -> t
+
+val union : t -> t -> t
+(** [union a b] is a fresh bitset with the elementwise OR; capacities must
+    match. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** [iter_set t f] applies [f] to the index of every set bit, ascending. *)

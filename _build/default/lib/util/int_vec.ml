@@ -1,0 +1,34 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () = { data = Array.make (max capacity 1) 0; len = 0 }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Int_vec.get";
+  Array.unsafe_get t.data i
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Int_vec.set";
+  Array.unsafe_set t.data i x
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) 0 in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  Array.unsafe_set t.data t.len x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Int_vec.pop: empty";
+  t.len <- t.len - 1;
+  Array.unsafe_get t.data t.len
+
+let clear t = t.len <- 0
+
+let to_array t = Array.sub t.data 0 t.len
+
+let unsafe_data t = t.data

@@ -1,0 +1,1 @@
+lib/window/evaluators.mli: Frame Holistic_parallel Holistic_storage Sort_spec Table Value Window_func

@@ -1,0 +1,1 @@
+lib/window/executor.ml: Array Column Evaluators Expr Frame Hashtbl Holistic_parallel Holistic_sort Holistic_storage List Sort_spec Table Value Window_func Window_spec

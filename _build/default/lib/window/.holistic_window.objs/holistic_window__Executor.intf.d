@@ -1,0 +1,1 @@
+lib/window/executor.mli: Holistic_parallel Holistic_storage Table Window_func Window_spec

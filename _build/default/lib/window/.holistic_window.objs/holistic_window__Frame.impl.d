@@ -1,0 +1,1 @@
+lib/window/frame.ml: Array Expr Holistic_storage List Sort_spec Value Window_spec

@@ -1,0 +1,1 @@
+lib/window/frame.mli: Holistic_storage Table Window_spec

@@ -1,0 +1,1 @@
+lib/window/remap.ml: Array List

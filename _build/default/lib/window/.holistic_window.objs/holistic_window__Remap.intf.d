@@ -1,0 +1,1 @@
+lib/window/remap.mli:

@@ -1,0 +1,1 @@
+lib/window/window_func.ml: Expr Holistic_storage Sort_spec

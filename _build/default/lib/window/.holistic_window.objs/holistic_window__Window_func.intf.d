@@ -1,0 +1,1 @@
+lib/window/window_func.mli: Expr Holistic_storage Sort_spec

@@ -1,0 +1,1 @@
+lib/window/window_spec.mli: Expr Holistic_storage Sort_spec

@@ -1,0 +1,24 @@
+(** Per-partition evaluation of window functions: preprocessing into integer
+    arrays, index structure construction (merge sort tree / range tree /
+    segment tree / competitor state) and the embarrassingly parallel probe
+    phase (§4, §5).
+
+    Used by {!Executor}; exposed for tests and the benchmark harness. *)
+
+open Holistic_storage
+
+type ctx = {
+  table : Table.t;
+  pool : Holistic_parallel.Task_pool.t;
+  rows : int array;  (** partition rows in window-frame order (original indices) *)
+  frame : Frame.t;
+  window_order : Sort_spec.t;
+  fanout : int;
+  sample : int;
+  task_size : int;
+}
+
+val eval_item : ctx -> Window_func.t -> out:Value.t array -> unit
+(** Evaluates one window function over the partition, writing results into
+    [out] at the rows' original indices.
+    @raise Invalid_argument for unsupported function/algorithm pairs. *)

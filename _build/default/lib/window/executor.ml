@@ -1,0 +1,94 @@
+open Holistic_storage
+module Task_pool = Holistic_parallel.Task_pool
+module Introsort = Holistic_sort.Introsort
+module Parallel_sort = Holistic_sort.Parallel_sort
+
+(* Dense partition ids from the PARTITION BY expressions. *)
+let partition_ids pool table exprs =
+  let n = Table.nrows table in
+  ignore pool;
+  match exprs with
+  | [] -> None
+  | _ ->
+      let compiled = List.map (Expr.compile table) exprs in
+      let table_ids = Hashtbl.create 256 in
+      let ids =
+        Array.init n (fun i ->
+            let key = List.map (fun f -> f i) compiled in
+            match Hashtbl.find_opt table_ids key with
+            | Some id -> id
+            | None ->
+                let id = Hashtbl.length table_ids in
+                Hashtbl.add table_ids key id;
+                id)
+      in
+      Some ids
+
+let order_permutation ?pool table ~over =
+  let pool = match pool with Some p -> p | None -> Task_pool.default () in
+  let n = Table.nrows table in
+  let pids = partition_ids pool table over.Window_spec.partition_by in
+  let perm =
+    match pids, Sort_spec.single_int_key table over.Window_spec.order_by with
+    | None, Some keys ->
+        (* fast path: single global partition, single plain int key *)
+        let key = Array.copy keys in
+        let perm = Array.init n (fun i -> i) in
+        Parallel_sort.sort_pairs pool ~key ~payload:perm;
+        perm
+    | _ ->
+        let ord_cmp =
+          if over.Window_spec.order_by = [] then fun _ _ -> 0
+          else Sort_spec.comparator table over.Window_spec.order_by
+        in
+        let cmp =
+          match pids with
+          | None -> ord_cmp
+          | Some ids ->
+              fun i j ->
+                let c = compare ids.(i) ids.(j) in
+                if c <> 0 then c else ord_cmp i j
+        in
+        Introsort.sort_indices_by n ~cmp
+  in
+  let boundaries =
+    match pids with
+    | None -> [| 0; n |]
+    | Some ids ->
+        let acc = ref [ 0 ] in
+        for k = 1 to n - 1 do
+          if ids.(perm.(k)) <> ids.(perm.(k - 1)) then acc := k :: !acc
+        done;
+        Array.of_list (List.rev (n :: !acc))
+  in
+  (perm, boundaries)
+
+let run ?pool ?(fanout = 32) ?(sample = 32) ?(task_size = Task_pool.default_task_size) table
+    ~over items =
+  let pool = match pool with Some p -> p | None -> Task_pool.default () in
+  let n = Table.nrows table in
+  let perm, boundaries = order_permutation ~pool table ~over in
+  let outputs = List.map (fun (item : Window_func.t) -> (item, Array.make n Value.Null)) items in
+  for p = 0 to Array.length boundaries - 2 do
+    let plo = boundaries.(p) and phi = boundaries.(p + 1) in
+    if phi > plo then begin
+      let rows = Array.sub perm plo (phi - plo) in
+      let frame = Frame.compute table ~spec:over ~rows in
+      let ctx =
+        {
+          Evaluators.table;
+          pool;
+          rows;
+          frame;
+          window_order = over.Window_spec.order_by;
+          fanout;
+          sample;
+          task_size;
+        }
+      in
+      List.iter (fun (item, out) -> Evaluators.eval_item ctx item ~out) outputs
+    end
+  done;
+  List.fold_left
+    (fun acc ((item : Window_func.t), out) -> Table.add_column acc item.name (Column.of_values out))
+    table outputs

@@ -1,0 +1,30 @@
+(** The window operator: partitioning, ordering, frame computation and
+    function evaluation (§2, §5).
+
+    Partitions are established by hashing the PARTITION BY keys and sorting
+    rows by (partition, ORDER BY); each partition is then preprocessed and
+    probed independently. Index structures are built per partition and
+    probed in fixed-size morsels (§5.5). *)
+
+open Holistic_storage
+
+val run :
+  ?pool:Holistic_parallel.Task_pool.t ->
+  ?fanout:int ->
+  ?sample:int ->
+  ?task_size:int ->
+  Table.t ->
+  over:Window_spec.t ->
+  Window_func.t list ->
+  Table.t
+(** [run table ~over items] evaluates every window function of [items] over
+    the shared window specification and returns the input table extended
+    with one column per item (named by the item), in the original row order.
+    [fanout]/[sample] are the merge-sort-tree parameters (default 32/32,
+    §6.6); [task_size] the morsel size (default 20 000, §5.5). *)
+
+val order_permutation :
+  ?pool:Holistic_parallel.Task_pool.t -> Table.t -> over:Window_spec.t -> int array * int array
+(** The sorted row permutation and the partition boundary offsets
+    (boundaries has one extra trailing entry equal to the row count).
+    Exposed for the profiling harness. *)

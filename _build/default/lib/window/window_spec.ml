@@ -1,0 +1,36 @@
+open Holistic_storage
+
+type frame_mode = Rows | Range | Groups
+
+type bound =
+  | Unbounded_preceding
+  | Preceding of Expr.t
+  | Current_row
+  | Following of Expr.t
+  | Unbounded_following
+
+type exclusion = Exclude_no_others | Exclude_current_row | Exclude_group | Exclude_ties
+
+type frame = {
+  mode : frame_mode;
+  start_bound : bound;
+  end_bound : bound;
+  exclusion : exclusion;
+}
+
+type t = { partition_by : Expr.t list; order_by : Sort_spec.t; frame : frame option }
+
+let over ?(partition_by = []) ?(order_by = []) ?frame () = { partition_by; order_by; frame }
+
+let between mode ?(exclusion = Exclude_no_others) start_bound end_bound =
+  { mode; start_bound; end_bound; exclusion }
+
+let rows_between ?exclusion s e = between Rows ?exclusion s e
+let range_between ?exclusion s e = between Range ?exclusion s e
+let groups_between ?exclusion s e = between Groups ?exclusion s e
+let preceding k = Preceding (Expr.Const (Value.Int k))
+let following k = Following (Expr.Const (Value.Int k))
+
+let whole_partition =
+  { mode = Rows; start_bound = Unbounded_preceding; end_bound = Unbounded_following;
+    exclusion = Exclude_no_others }

@@ -1,0 +1,50 @@
+(** Window specifications: PARTITION BY, ORDER BY, framing (§2.2).
+
+    Frame bounds may be arbitrary per-row expressions (the paper's stock
+    limit-order example), not just constants, and frames may be non-monotonic
+    and non-continuous. *)
+
+open Holistic_storage
+
+type frame_mode =
+  | Rows  (** bounds are row offsets *)
+  | Range  (** bounds are value offsets on a single ORDER BY key *)
+  | Groups  (** bounds are peer-group offsets *)
+
+type bound =
+  | Unbounded_preceding
+  | Preceding of Expr.t  (** non-negative offset, evaluated per row *)
+  | Current_row
+  | Following of Expr.t
+  | Unbounded_following
+
+type exclusion = Exclude_no_others | Exclude_current_row | Exclude_group | Exclude_ties
+
+type frame = {
+  mode : frame_mode;
+  start_bound : bound;
+  end_bound : bound;
+  exclusion : exclusion;
+}
+
+type t = {
+  partition_by : Expr.t list;
+  order_by : Sort_spec.t;
+  frame : frame option;
+      (** [None] is SQL's default: with ORDER BY, RANGE BETWEEN UNBOUNDED
+          PRECEDING AND CURRENT ROW; without, the whole partition. *)
+}
+
+val over : ?partition_by:Expr.t list -> ?order_by:Sort_spec.t -> ?frame:frame -> unit -> t
+
+val rows_between : ?exclusion:exclusion -> bound -> bound -> frame
+val range_between : ?exclusion:exclusion -> bound -> bound -> frame
+val groups_between : ?exclusion:exclusion -> bound -> bound -> frame
+
+val preceding : int -> bound
+(** Constant-offset shorthand. *)
+
+val following : int -> bound
+
+val whole_partition : frame
+(** ROWS BETWEEN UNBOUNDED PRECEDING AND UNBOUNDED FOLLOWING. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Fun Hashtbl Holistic_baselines Holistic_util Int List Option QCheck QCheck_alcotest Set

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Holistic_core Holistic_parallel Holistic_util Int List Printf QCheck QCheck_alcotest Set String

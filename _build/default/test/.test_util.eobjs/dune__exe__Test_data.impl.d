@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Column Holistic_data Holistic_storage List Table Value

@@ -1,0 +1,1 @@
+test/test_frame.ml: Alcotest Array Column Expr Frame Holistic_storage Holistic_window Sort_spec Table Value Window_spec

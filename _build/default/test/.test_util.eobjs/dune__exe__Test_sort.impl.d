@@ -1,0 +1,1 @@
+test/test_sort.ml: Alcotest Array Holistic_parallel Holistic_sort Holistic_util List QCheck QCheck_alcotest Unix

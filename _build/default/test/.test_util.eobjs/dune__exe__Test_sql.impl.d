@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Column Executor Expr Holistic_sql Holistic_storage Holistic_window List QCheck QCheck_alcotest Sort_spec String Table Value Window_func Window_spec

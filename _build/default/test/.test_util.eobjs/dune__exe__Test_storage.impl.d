@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Column Csv Expr Filename Format Fun Holistic_sort Holistic_storage Holistic_util List Sort_spec Sys Table Value

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Holistic_util List QCheck QCheck_alcotest

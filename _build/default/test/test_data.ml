@@ -1,0 +1,114 @@
+open Holistic_storage
+module Tpch = Holistic_data.Tpch
+module Scenarios = Holistic_data.Scenarios
+
+let test_lineitem_shape () =
+  let t = Tpch.lineitem ~rows:5_000 () in
+  Alcotest.(check int) "rows" 5_000 (Table.nrows t);
+  let ship = Table.column t "l_shipdate" in
+  let receipt = Table.column t "l_receiptdate" in
+  let price = Table.column t "l_extendedprice" in
+  let start = Value.date_of_ymd 1992 1 1 in
+  let latest = Value.date_of_ymd 1998 12 31 in
+  for i = 0 to 4_999 do
+    (match Column.data ship, Column.data receipt with
+    | Column.Dates s, Column.Dates r ->
+        if s.(i) < start || s.(i) > latest then Alcotest.failf "shipdate out of range at %d" i;
+        if r.(i) <= s.(i) || r.(i) > s.(i) + 30 then
+          Alcotest.failf "receipt not within 1..30 days of ship at %d" i
+    | _ -> Alcotest.fail "date columns expected");
+    match Column.get price i with
+    | Value.Float p when p > 0.0 -> ()
+    | _ -> Alcotest.failf "non-positive price at %d" i
+  done
+
+let test_lineitem_determinism () =
+  let a = Tpch.lineitem ~seed:5 ~rows:500 () in
+  let b = Tpch.lineitem ~seed:5 ~rows:500 () in
+  let c = Tpch.lineitem ~seed:6 ~rows:500 () in
+  let col t = Column.data (Table.column t "l_extendedprice") in
+  Alcotest.(check bool) "same seed, same data" true (col a = col b);
+  Alcotest.(check bool) "different seed, different data" true (col a <> col c)
+
+let test_partkey_duplication () =
+  (* distinct counts rely on ~30 rows per part key *)
+  let t = Tpch.lineitem ~rows:30_000 () in
+  match Column.data (Table.column t "l_partkey") with
+  | Column.Ints pk ->
+      let distinct = List.length (List.sort_uniq compare (Array.to_list pk)) in
+      Alcotest.(check bool) "roughly rows/30 part keys" true (distinct > 400 && distinct < 2_000)
+  | _ -> Alcotest.fail "int column expected"
+
+let test_orders () =
+  let t = Tpch.orders ~rows:1_000 () in
+  Alcotest.(check int) "rows" 1_000 (Table.nrows t);
+  match Column.data (Table.column t "o_custkey") with
+  | Column.Ints ck ->
+      let distinct = List.length (List.sort_uniq compare (Array.to_list ck)) in
+      Alcotest.(check bool) "~rows/10 customers" true (distinct > 50 && distinct <= 100)
+  | _ -> Alcotest.fail "int column expected"
+
+let test_scale_factor () =
+  Alcotest.(check int) "SF1" 6_001_215 (Tpch.scale_factor_rows 1.0);
+  Alcotest.(check int) "SF0.01" 60_012 (Tpch.scale_factor_rows 0.01)
+
+let test_tpcc_results () =
+  let t = Scenarios.tpcc_results ~rows:500 () in
+  Alcotest.(check int) "rows" 500 (Table.nrows t);
+  match Column.data (Table.column t "tps"), Column.data (Table.column t "submission_date") with
+  | Column.Floats tps, Column.Dates d ->
+      (* performance should trend upward: average tps of the newest quartile
+         beats the oldest quartile *)
+      let pairs = Array.init 500 (fun i -> (d.(i), tps.(i))) in
+      Array.sort compare pairs;
+      let avg lo hi =
+        let s = ref 0.0 in
+        for i = lo to hi - 1 do
+          s := !s +. snd pairs.(i)
+        done;
+        !s /. float_of_int (hi - lo)
+      in
+      Alcotest.(check bool) "upward trend" true (avg 375 500 > avg 0 125)
+  | _ -> Alcotest.fail "unexpected column types"
+
+let test_stock_orders () =
+  let t = Scenarios.stock_orders ~rows:300 () in
+  match Column.data (Table.column t "placement_time"), Column.data (Table.column t "good_for") with
+  | Column.Ints pt, Column.Ints gf ->
+      for i = 1 to 299 do
+        if pt.(i) <= pt.(i - 1) then Alcotest.fail "placement times must increase"
+      done;
+      Alcotest.(check bool) "positive validity windows" true (Array.for_all (fun g -> g > 0) gf)
+  | _ -> Alcotest.fail "int columns expected"
+
+let test_zipf () =
+  let a = Scenarios.zipf_ints ~n:20_000 ~bound:100 () in
+  Alcotest.(check bool) "values in range" true (Array.for_all (fun v -> v >= 0 && v < 100) a);
+  let count v = Array.fold_left (fun acc x -> if x = v then acc + 1 else acc) 0 a in
+  Alcotest.(check bool) "head heavier than tail" true (count 0 > 10 * count 50)
+
+let test_uniform () =
+  let a = Scenarios.uniform_ints ~n:10_000 ~bound:10 () in
+  let counts = Array.make 10 0 in
+  Array.iter (fun v -> counts.(v) <- counts.(v) + 1) a;
+  Array.iter (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 700 && c < 1_300)) counts
+
+let () =
+  Alcotest.run "data"
+    [
+      ( "tpch",
+        [
+          Alcotest.test_case "lineitem shape" `Quick test_lineitem_shape;
+          Alcotest.test_case "determinism" `Quick test_lineitem_determinism;
+          Alcotest.test_case "partkey duplication" `Quick test_partkey_duplication;
+          Alcotest.test_case "orders" `Quick test_orders;
+          Alcotest.test_case "scale factors" `Quick test_scale_factor;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "tpcc results" `Quick test_tpcc_results;
+          Alcotest.test_case "stock orders" `Quick test_stock_orders;
+          Alcotest.test_case "zipf" `Quick test_zipf;
+          Alcotest.test_case "uniform" `Quick test_uniform;
+        ] );
+    ]

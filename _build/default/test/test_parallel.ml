@@ -1,0 +1,78 @@
+module Task_pool = Holistic_parallel.Task_pool
+
+let test_run_list_results () =
+  let pool = Task_pool.create 1 in
+  let acc = Array.make 10 0 in
+  Task_pool.run_list pool (List.init 10 (fun i () -> acc.(i) <- i * 2));
+  Alcotest.(check (array int)) "all tasks ran" (Array.init 10 (fun i -> i * 2)) acc;
+  Task_pool.shutdown pool
+
+let test_run_list_multi_domain () =
+  let pool = Task_pool.create 4 in
+  let acc = Array.make 200 0 in
+  Task_pool.run_list pool (List.init 200 (fun i () -> acc.(i) <- i + 1));
+  Alcotest.(check int) "sum" (200 * 201 / 2) (Array.fold_left ( + ) 0 acc);
+  Task_pool.shutdown pool
+
+exception Boom
+
+let test_exception_propagation () =
+  let pool = Task_pool.create 2 in
+  let ran_rest = ref 0 in
+  (try
+     Task_pool.run_list pool
+       [ (fun () -> raise Boom); (fun () -> incr ran_rest); (fun () -> incr ran_rest) ];
+     Alcotest.fail "expected exception"
+   with Boom -> ());
+  (* tasks after the failing one still ran to completion *)
+  Alcotest.(check int) "remaining tasks completed" 2 !ran_rest;
+  (* the pool is reusable after an error *)
+  let ok = ref false in
+  Task_pool.run_list pool [ (fun () -> ok := true) ];
+  Alcotest.(check bool) "pool reusable" true !ok;
+  Task_pool.shutdown pool
+
+let test_parallel_for_coverage () =
+  let pool = Task_pool.create 3 in
+  let hits = Array.make 1000 0 in
+  Task_pool.parallel_for pool ~lo:0 ~hi:1000 ~chunk:37 (fun lo hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Alcotest.(check bool) "each index exactly once" true (Array.for_all (( = ) 1) hits);
+  Task_pool.shutdown pool
+
+let test_parallel_for_empty () =
+  let pool = Task_pool.create 1 in
+  let ran = ref false in
+  Task_pool.parallel_for pool ~lo:5 ~hi:5 ~chunk:10 (fun _ _ -> ran := true);
+  Alcotest.(check bool) "no chunk for empty range" false !ran;
+  Alcotest.check_raises "zero chunk rejected"
+    (Invalid_argument "Task_pool.parallel_for: chunk must be positive") (fun () ->
+      Task_pool.parallel_for pool ~lo:0 ~hi:10 ~chunk:0 (fun _ _ -> ()));
+  Task_pool.shutdown pool
+
+let test_shutdown_idempotent () =
+  let pool = Task_pool.create 2 in
+  Task_pool.shutdown pool;
+  Task_pool.shutdown pool
+
+let test_task_size_constant () =
+  (* The paper's §5.5 task granularity is load-bearing for the experiments;
+     changing it invalidates EXPERIMENTS.md. *)
+  Alcotest.(check int) "20000-tuple morsels" 20_000 Task_pool.default_task_size
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "task_pool",
+        [
+          Alcotest.test_case "run_list inline" `Quick test_run_list_results;
+          Alcotest.test_case "run_list multi-domain" `Quick test_run_list_multi_domain;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "parallel_for coverage" `Quick test_parallel_for_coverage;
+          Alcotest.test_case "parallel_for edge cases" `Quick test_parallel_for_empty;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+          Alcotest.test_case "default task size" `Quick test_task_size_constant;
+        ] );
+    ]

@@ -1,0 +1,287 @@
+open Holistic_storage
+module Bitset = Holistic_util.Bitset
+
+let v = Alcotest.testable (fun fmt x -> Format.pp_print_string fmt (Value.to_string x)) Value.equal
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_compare () =
+  let c = Value.compare_sql ~nulls_last:true in
+  Alcotest.(check bool) "int < int" true (c (Value.Int 1) (Value.Int 2) < 0);
+  Alcotest.(check bool) "cross numeric" true (c (Value.Int 2) (Value.Float 1.5) > 0);
+  Alcotest.(check bool) "cross numeric equal" true (c (Value.Int 2) (Value.Float 2.0) = 0);
+  Alcotest.(check bool) "null last" true (c Value.Null (Value.Int 5) > 0);
+  Alcotest.(check bool) "null first"
+    true
+    (Value.compare_sql ~nulls_last:false Value.Null (Value.Int 5) < 0);
+  Alcotest.(check bool) "null = null" true (c Value.Null Value.Null = 0);
+  Alcotest.(check bool) "strings" true (c (Value.String "abc") (Value.String "abd") < 0)
+
+let test_equal_hash () =
+  Alcotest.(check bool) "int/float equal" true (Value.equal (Value.Int 3) (Value.Float 3.0));
+  Alcotest.(check bool) "hash compatible" true
+    (Value.hash (Value.Int 3) = Value.hash (Value.Float 3.0));
+  Alcotest.(check bool) "null equal null (grouping)" true (Value.equal Value.Null Value.Null);
+  Alcotest.(check bool) "null <> value" false (Value.equal Value.Null (Value.Int 0))
+
+let test_arithmetic () =
+  Alcotest.check v "int add" (Value.Int 5) (Value.add (Value.Int 2) (Value.Int 3));
+  Alcotest.check v "promotion" (Value.Float 5.5) (Value.add (Value.Int 2) (Value.Float 3.5));
+  Alcotest.check v "null propagation" Value.Null (Value.add Value.Null (Value.Int 1));
+  Alcotest.check v "date - date" (Value.Int 31)
+    (Value.sub (Value.Date (Value.date_of_ymd 2020 2 1)) (Value.Date (Value.date_of_ymd 2020 1 1)));
+  Alcotest.check v "div by zero is NULL" Value.Null (Value.div (Value.Int 1) (Value.Int 0));
+  Alcotest.check_raises "type error" (Invalid_argument "Value.add: incompatible operands (4, 2)")
+    (fun () -> ignore (Value.add (Value.String "a") (Value.Int 1)))
+
+let test_calendar () =
+  Alcotest.(check int) "epoch" 0 (Value.date_of_ymd 1970 1 1);
+  Alcotest.(check int) "day after" 1 (Value.date_of_ymd 1970 1 2);
+  let d = Value.date_of_ymd 1996 2 29 in
+  Alcotest.(check (triple int int int)) "leap roundtrip" (1996, 2, 29) (Value.ymd_of_date d);
+  Alcotest.(check string) "iso format" "1996-02-29" (Value.date_to_string d);
+  (* exhaustive roundtrip over several years including leap boundaries *)
+  let start = Value.date_of_ymd 1999 1 1 in
+  for day = start to start + (366 * 4) do
+    let y, m, dd = Value.ymd_of_date day in
+    Alcotest.(check int) "roundtrip" day (Value.date_of_ymd y m dd)
+  done
+
+let test_add_months () =
+  let d = Value.date_of_ymd 2020 1 31 in
+  Alcotest.(check (triple int int int)) "clamp to feb 29" (2020, 2, 29)
+    (Value.ymd_of_date (Value.add_months d 1));
+  Alcotest.(check (triple int int int)) "non-leap clamp" (2021, 2, 28)
+    (Value.ymd_of_date (Value.add_months d 13));
+  Alcotest.(check (triple int int int)) "backwards across year" (2019, 11, 30)
+    (Value.ymd_of_date (Value.add_months (Value.date_of_ymd 2020 5 30) (-6)));
+  let interval = Value.Interval { months = 1; days = 0 } in
+  Alcotest.check v "date minus 1 month"
+    (Value.Date (Value.date_of_ymd 2019 12 31))
+    (Value.sub (Value.Date d) interval)
+
+(* ------------------------------------------------------------------ *)
+(* Columns                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_column_nulls () =
+  let nulls = Bitset.create 3 in
+  Bitset.set nulls 1;
+  let c = Column.make ~nulls (Column.Ints [| 10; 0; 30 |]) in
+  Alcotest.check v "non-null" (Value.Int 10) (Column.get c 0);
+  Alcotest.check v "null row" Value.Null (Column.get c 1);
+  Alcotest.(check bool) "is_null" true (Column.is_null c 1);
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Column.make: null mask length mismatch")
+    (fun () -> ignore (Column.make ~nulls (Column.Ints [| 1 |])))
+
+let test_of_values () =
+  let c = Column.of_values [| Value.Int 1; Value.Null; Value.Int 3 |] in
+  Alcotest.check v "roundtrip null" Value.Null (Column.get c 1);
+  Alcotest.check v "roundtrip value" (Value.Int 3) (Column.get c 2);
+  Alcotest.check_raises "mixed types" (Invalid_argument "Column.of_values: mixed types")
+    (fun () -> ignore (Column.of_values [| Value.Int 1; Value.String "x" |]))
+
+let test_distinct_ids () =
+  let c = Column.floats [| 1.5; 2.5; 1.5; 3.5; 2.5 |] in
+  let ids = Column.distinct_ids c in
+  Alcotest.(check bool) "equal values share ids" true (ids.(0) = ids.(2) && ids.(1) = ids.(4));
+  Alcotest.(check bool) "distinct values differ" true
+    (ids.(0) <> ids.(1) && ids.(0) <> ids.(3) && ids.(1) <> ids.(3));
+  let ints = Column.ints [| 7; 7; 9 |] in
+  Alcotest.(check (array int)) "int fast path is raw values" [| 7; 7; 9 |]
+    (Column.distinct_ids ints)
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_table () =
+  let t = Table.create [ ("a", Column.ints [| 1; 2 |]); ("b", Column.strings [| "x"; "y" |]) ] in
+  Alcotest.(check int) "rows" 2 (Table.nrows t);
+  Alcotest.(check (list string)) "names" [ "a"; "b" ] (Table.column_names t);
+  Alcotest.check v "cell" (Value.String "y") (Column.get (Table.column t "b") 1);
+  Alcotest.check_raises "unknown column" Not_found (fun () -> ignore (Table.column t "zz"));
+  Alcotest.check_raises "ragged" (Invalid_argument "Table.create: column \"b\" has 1 rows, expected 2")
+    (fun () -> ignore (Table.create [ ("a", Column.ints [| 1; 2 |]); ("b", Column.ints [| 1 |]) ]));
+  Alcotest.check_raises "duplicate name" (Invalid_argument "Table.create: duplicate column name")
+    (fun () -> ignore (Table.create [ ("a", Column.ints [| 1 |]); ("a", Column.ints [| 2 |]) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let table =
+  Table.create
+    [
+      ("x", Column.ints [| 1; 2; 3 |]);
+      ("y", Column.of_values [| Value.Float 1.5; Value.Null; Value.Float 3.0 |]);
+    ]
+
+let test_expr_eval () =
+  let e = Expr.(Add (Col "x", Const (Value.Int 10))) in
+  Alcotest.check v "add" (Value.Int 12) (Expr.eval table e 1);
+  let cmp = Expr.(Lt (Col "x", Const (Value.Int 3))) in
+  Alcotest.check v "lt true" (Value.Bool true) (Expr.eval table cmp 0);
+  Alcotest.check v "lt false" (Value.Bool false) (Expr.eval table cmp 2);
+  let nullcmp = Expr.(Gt (Col "y", Const (Value.Float 0.0))) in
+  Alcotest.check v "null comparison" Value.Null (Expr.eval table nullcmp 1)
+
+let test_three_valued_logic () =
+  let null_b = Expr.(Gt (Col "y", Const (Value.Float 0.0))) in
+  let tru = Expr.Const (Value.Bool true) in
+  let fls = Expr.Const (Value.Bool false) in
+  Alcotest.check v "null AND false = false" (Value.Bool false)
+    (Expr.eval table (Expr.And (null_b, fls)) 1);
+  Alcotest.check v "null AND true = null" Value.Null (Expr.eval table (Expr.And (null_b, tru)) 1);
+  Alcotest.check v "null OR true = true" (Value.Bool true)
+    (Expr.eval table (Expr.Or (null_b, tru)) 1);
+  Alcotest.check v "null OR false = null" Value.Null (Expr.eval table (Expr.Or (null_b, fls)) 1);
+  Alcotest.check v "NOT null = null" Value.Null (Expr.eval table (Expr.Not null_b) 1);
+  Alcotest.check v "is_null" (Value.Bool true) (Expr.eval table (Expr.Is_null (Expr.Col "y")) 1);
+  Alcotest.(check bool) "to_bool null is false" false (Expr.to_bool Value.Null)
+
+let test_case_abs_extremes () =
+  let case =
+    Expr.Case
+      ( [ (Expr.Lt (Expr.Col "x", Expr.Const (Value.Int 2)), Expr.Const (Value.String "small")) ],
+        Some (Expr.Const (Value.String "big")) )
+  in
+  Alcotest.check v "case match" (Value.String "small") (Expr.eval table case 0);
+  Alcotest.check v "case else" (Value.String "big") (Expr.eval table case 2);
+  let no_else = Expr.Case ([ (Expr.Const (Value.Bool false), Expr.Const (Value.Int 1)) ], None) in
+  Alcotest.check v "case falls through to NULL" Value.Null (Expr.eval table no_else 0);
+  Alcotest.check v "abs" (Value.Int 3) (Expr.eval table (Expr.Abs (Expr.Neg (Expr.Col "x"))) 2);
+  Alcotest.check v "greatest ignores null" (Value.Float 1.5)
+    (Expr.eval table (Expr.Greatest [ Expr.Col "y"; Expr.Const Value.Null ]) 0);
+  Alcotest.check v "least" (Value.Int 1)
+    (Expr.eval table (Expr.Least [ Expr.Col "x"; Expr.Const (Value.Int 5) ]) 0);
+  Alcotest.check v "greatest all null" Value.Null
+    (Expr.eval table (Expr.Greatest [ Expr.Const Value.Null ]) 0)
+
+let test_mod () =
+  let e = Expr.(Mod (Col "x", Const (Value.Int 2))) in
+  Alcotest.check v "mod" (Value.Int 1) (Expr.eval table e 2);
+  Alcotest.check v "mod by zero" Value.Null
+    (Expr.eval table Expr.(Mod (Col "x", Const (Value.Int 0))) 0)
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_roundtrip () =
+  let t =
+    Table.create
+      [
+        ("i", Column.of_values [| Value.Int 1; Value.Null; Value.Int (-3) |]);
+        ("f", Column.floats [| 1.5; 0.1; 1e300 |]);
+        ("s", Column.strings [| "plain"; "with,comma"; "with \"quotes\"\nand newline" |]);
+        ("d", Column.dates [| Value.date_of_ymd 1996 2 29; 0; 10_000 |]);
+        ("b", Column.of_values [| Value.Bool true; Value.Bool false; Value.Null |]);
+      ]
+  in
+  let path = Filename.temp_file "holistic" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save path t;
+      let t' = Csv.load path in
+      Alcotest.(check (list string)) "columns" (Table.column_names t) (Table.column_names t');
+      Alcotest.(check int) "rows" (Table.nrows t) (Table.nrows t');
+      for i = 0 to Table.nrows t - 1 do
+        List.iter2
+          (fun (n1, c1) (_, c2) ->
+            let a = Column.get c1 i and b = Column.get c2 i in
+            if not (Value.equal a b || (Value.is_null a && Value.is_null b)) then
+              Alcotest.failf "cell %s[%d]: %s vs %s" n1 i (Value.to_string a) (Value.to_string b))
+          (Table.columns t) (Table.columns t')
+      done)
+
+let test_csv_errors () =
+  let parse s =
+    let path = Filename.temp_file "holistic" ".csv" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let out = open_out path in
+        output_string out s;
+        close_out out;
+        Csv.load path)
+  in
+  (match parse "a:int\n1\n2\n" with
+  | t -> Alcotest.(check int) "valid parse" 2 (Table.nrows t)
+  | exception _ -> Alcotest.fail "valid input rejected");
+  (match parse "a\n1\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "untyped header accepted");
+  match parse "a:blob\nx\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unknown type accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Sort specs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_comparator () =
+  let t =
+    Table.create
+      [
+        ("a", Column.ints [| 2; 1; 2; 1 |]);
+        ("b", Column.of_values [| Value.Int 9; Value.Null; Value.Int 7; Value.Int 8 |]);
+      ]
+  in
+  let cmp = Sort_spec.comparator t [ Sort_spec.asc (Expr.Col "a"); Sort_spec.desc (Expr.Col "b") ] in
+  (* (1, NULL), (1, 8), (2, 9), (2, 7): NULLS FIRST for DESC by default *)
+  let order = Holistic_sort.Introsort.sort_indices_by 4 ~cmp in
+  Alcotest.(check (array int)) "multi-key order" [| 1; 3; 0; 2 |] order
+
+let test_fast_key () =
+  let t = Table.create [ ("a", Column.ints [| 1 |]); ("f", Column.floats [| 1.0 |]) ] in
+  (match Sort_spec.fast_key t [ Sort_spec.asc (Expr.Col "a") ] with
+  | Some (Sort_spec.Int_key (_, false)) -> ()
+  | _ -> Alcotest.fail "expected int fast key");
+  (match Sort_spec.fast_key t [ Sort_spec.desc (Expr.Col "f") ] with
+  | Some (Sort_spec.Float_key (_, true)) -> ()
+  | _ -> Alcotest.fail "expected float fast key");
+  Alcotest.(check bool) "expression has no fast key" true
+    (Sort_spec.fast_key t [ Sort_spec.asc (Expr.Add (Expr.Col "a", Expr.Col "a")) ] = None);
+  Alcotest.(check bool) "single_int_key" true
+    (Sort_spec.single_int_key t [ Sort_spec.asc (Expr.Col "a") ] <> None)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "comparison" `Quick test_compare;
+          Alcotest.test_case "equality and hashing" `Quick test_equal_hash;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "calendar" `Quick test_calendar;
+          Alcotest.test_case "add_months" `Quick test_add_months;
+        ] );
+      ( "column",
+        [
+          Alcotest.test_case "null masks" `Quick test_column_nulls;
+          Alcotest.test_case "of_values" `Quick test_of_values;
+          Alcotest.test_case "distinct ids" `Quick test_distinct_ids;
+        ] );
+      ("table", [ Alcotest.test_case "create/access" `Quick test_table ]);
+      ( "expr",
+        [
+          Alcotest.test_case "evaluation" `Quick test_expr_eval;
+          Alcotest.test_case "three-valued logic" `Quick test_three_valued_logic;
+          Alcotest.test_case "mod" `Quick test_mod;
+          Alcotest.test_case "case/abs/greatest/least" `Quick test_case_abs_extremes;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip (incl. quoted newlines)" `Quick test_csv_roundtrip;
+          Alcotest.test_case "malformed inputs" `Quick test_csv_errors;
+        ] );
+      ( "sort_spec",
+        [
+          Alcotest.test_case "comparator" `Quick test_comparator;
+          Alcotest.test_case "fast keys" `Quick test_fast_key;
+        ] );
+    ]
