@@ -495,7 +495,140 @@ let ablation_store ~rows () =
         ];
       ];
   H.note
-    "the paper's 32-bit trees are faster (bandwidth-bound C++); OCaml pays Int32 boxing on reads"
+    "monomorphic 32-bit descents keep Int32 reads unboxed: narrow probes match 64-bit \
+     in-cache and win once the tree spills (see mst-width at 10^6)"
+
+(* Width sweep (§5.1): build cost of the historical 64-bit-then-convert
+   path vs direct narrow construction, probe throughput and footprint of
+   every instantiation. Emits BENCH_mst_width.json for regression
+   tracking. *)
+let mst_width ~rows () =
+  let module C = Holistic_core.Mst_compact in
+  let module M16 = Holistic_core.Mst16 in
+  let module W = Holistic_core.Mst_width in
+  H.section (Printf.sprintf "Width sweep: direct narrow MST builds vs build-then-convert (n=%d)" rows);
+  let sizes =
+    List.sort_uniq compare [ max 1_000 (rows / 20); max 1_000 (rows / 5); rows ]
+  in
+  let series =
+    List.map
+      (fun n ->
+        let keys = Scenarios.uniform_ints ~n ~bound:n () in
+        let w = max 1 (n / 20) in
+        (* the pre-template build must still produce the same tree, or the
+           baseline below would be a strawman *)
+        let legacy = Legacy_mst.create keys in
+        let cur = Mst.internals (Mst.create keys) in
+        if
+          legacy.Legacy_mst.levels <> cur.Mst.int_levels
+          || legacy.Legacy_mst.cursors <> cur.Mst.int_cursors
+        then failwith "mst_width: legacy build diverges from current build";
+        (* warm-up: fault in the heap and code paths so the first timed rep
+           is not billed for first-touch page faults *)
+        ignore (C.of_mst (Mst.create keys));
+        H.gc_settle ();
+        let t_legacy =
+          H.time_best ~reps:5 (fun () -> Legacy_mst.convert_32 (Legacy_mst.create keys))
+        in
+        H.gc_settle ();
+        let t_build64 = H.time_best ~reps:5 (fun () -> Mst.create keys) in
+        H.gc_settle ();
+        let t_convert = H.time_best ~reps:5 (fun () -> C.of_mst (Mst.create keys)) in
+        H.gc_settle ();
+        let t_direct32 = H.time_best ~reps:5 (fun () -> C.create keys) in
+        let fits16 = n <= 0xFFFF in
+        let t_direct16 =
+          if fits16 then begin
+            H.gc_settle ();
+            Some (H.time_best ~reps:5 (fun () -> M16.create keys))
+          end
+          else None
+        in
+        let tree64 = Mst.create keys in
+        let tree32 = C.create keys in
+        let tree16 = if fits16 then Some (M16.create keys) else None in
+        let probe count =
+          H.gc_settle ();
+          H.time (fun () ->
+              let acc = ref 0 in
+              for i = 0 to n - 1 do
+                acc := !acc + count ~lo:(max 0 (i - w)) ~hi:(i + 1) ~less_than:keys.(i)
+              done;
+              !acc)
+        in
+        let p64 = probe (Mst.count tree64) in
+        let p32 = probe (C.count tree32) in
+        let p16 = Option.map (fun t -> probe (M16.count t)) tree16 in
+        let b64 = (Mst.stats tree64).Mst.heap_bytes in
+        let b32 = C.heap_bytes tree32 in
+        let b16 = Option.map M16.heap_bytes tree16 in
+        let auto = W.width_for ~n ~min_value:0 ~max_value:(n - 1) in
+        let fcell = function Some t -> Printf.sprintf "%.3f" t | None -> "-" in
+        let mb b = Printf.sprintf "%.1f" (float_of_int b /. 1e6) in
+        H.print_table
+          ~header:[ "n"; "path"; "build s"; "probe s"; "MB" ]
+          ~rows:
+            ([
+               [ string_of_int n; "pre-PR build + convert to 32"; Printf.sprintf "%.3f" t_legacy;
+                 Printf.sprintf "%.3f" p32; mb (b64 + b32) ];
+               [ ""; "64-bit"; Printf.sprintf "%.3f" t_build64;
+                 Printf.sprintf "%.3f" p64; mb b64 ];
+               [ ""; "64-bit + convert to 32"; Printf.sprintf "%.3f" t_convert;
+                 Printf.sprintf "%.3f" p32; mb (b64 + b32) ];
+               [ ""; "direct 32-bit"; Printf.sprintf "%.3f" t_direct32;
+                 Printf.sprintf "%.3f" p32; mb b32 ];
+             ]
+            @
+            match t_direct16 with
+            | Some t16 ->
+                [ [ ""; "direct 16-bit"; fcell (Some t16);
+                    fcell p16; mb (Option.get b16) ] ]
+            | None -> []);
+        H.note
+          "direct 32-bit vs old build-then-convert: %.2fx faster (%.2fx vs the retuned 64-bit \
+           merge + convert; auto picks %d-bit here)"
+          (t_legacy /. t_direct32) (t_convert /. t_direct32) (W.bits auto);
+        H.J_obj
+          [
+            ("n", H.J_int n);
+            ("frame", H.J_int w);
+            ("auto_width_bits", H.J_int (W.bits auto));
+            ( "build_seconds",
+              H.J_obj
+                [
+                  ("legacy_build64_convert32", H.J_float t_legacy);
+                  ("build64", H.J_float t_build64);
+                  ("build64_convert32", H.J_float t_convert);
+                  ("direct32", H.J_float t_direct32);
+                  ("direct16", match t_direct16 with Some t -> H.J_float t | None -> H.J_null);
+                ] );
+            ( "probe_seconds",
+              H.J_obj
+                [
+                  ("w64", H.J_float p64);
+                  ("w32", H.J_float p32);
+                  ("w16", match p16 with Some t -> H.J_float t | None -> H.J_null);
+                ] );
+            ( "heap_bytes",
+              H.J_obj
+                [
+                  ("w64", H.J_int b64);
+                  ("w32", H.J_int b32);
+                  ("w16", match b16 with Some b -> H.J_int b | None -> H.J_null);
+                  ("peak_convert_path", H.J_int (b64 + b32));
+                ] );
+            ("legacy_over_direct32", H.J_float (t_legacy /. t_direct32));
+            ("convert_over_direct32", H.J_float (t_convert /. t_direct32));
+          ])
+      sizes
+  in
+  H.write_json_file "BENCH_mst_width.json"
+    (H.J_obj
+       [
+         ("experiment", H.J_string "mst_width");
+         ("rows", H.J_int rows);
+         ("series", H.J_list series);
+       ])
 
 let ablation_task ~rows () =
   H.section

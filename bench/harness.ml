@@ -69,3 +69,86 @@ let section title =
   Printf.printf "\n=== %s ===\n%!" title
 
 let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n%!" s) fmt
+
+(* Machine-readable artifacts. Experiments that feed plots or regression
+   tracking emit their series as a JSON file next to the printed table, so
+   downstream tooling does not have to scrape aligned-column text. The
+   encoder is deliberately tiny: objects, arrays and scalars are all the
+   harness needs, and keeping it here avoids an external dependency. *)
+type json =
+  | J_null
+  | J_bool of bool
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_to_string j =
+  let buf = Buffer.create 1024 in
+  let pad d = Buffer.add_string buf (String.make (2 * d) ' ') in
+  let rec go d = function
+    | J_null -> Buffer.add_string buf "null"
+    | J_bool b -> Buffer.add_string buf (string_of_bool b)
+    | J_int i -> Buffer.add_string buf (string_of_int i)
+    | J_float f ->
+        if not (Float.is_finite f) then Buffer.add_string buf "null"
+        else Buffer.add_string buf (Printf.sprintf "%.9g" f)
+    | J_string s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (json_escape s);
+        Buffer.add_char buf '"'
+    | J_list [] -> Buffer.add_string buf "[]"
+    | J_list xs ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (d + 1);
+            go (d + 1) x)
+          xs;
+        Buffer.add_char buf '\n';
+        pad d;
+        Buffer.add_char buf ']'
+    | J_obj [] -> Buffer.add_string buf "{}"
+    | J_obj kvs ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (d + 1);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (json_escape k);
+            Buffer.add_string buf "\": ";
+            go (d + 1) v)
+          kvs;
+        Buffer.add_char buf '\n';
+        pad d;
+        Buffer.add_char buf '}'
+  in
+  go 0 j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let json_of_outcome = function Skipped -> J_null | Time t -> J_float t
+
+let write_json_file path j =
+  let oc = open_out path in
+  output_string oc (json_to_string j);
+  close_out oc;
+  note "wrote %s" path

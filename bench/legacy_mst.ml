@@ -1,0 +1,148 @@
+(* The pre-width-template merge sort tree build, preserved verbatim as the
+   benchmark baseline for the [mst-width] experiment: a 64-bit [int array]
+   tree built with a binary-heap k-way merge (per-run heap allocation,
+   division-based cursor sampling, bounds-checked accesses), which narrow
+   trees could then only reach by a whole-tree conversion pass. The
+   experiment checks this build still produces bit-identical levels and
+   cursors to the current template before timing it, so the baseline cannot
+   silently drift from what the library used to do. *)
+
+module Task_pool = Holistic_parallel.Task_pool
+
+type t = {
+  n : int;
+  fanout : int;
+  sample : int;
+  levels : int array array;
+  stride : int array;
+  cursors : int array array;
+  spr : int array;
+}
+
+let merge_one_run ~src ~dst ~cursors ~state_base ~fanout ~sample ~run_base ~run_len ~child_stride =
+  let nc = ((run_len - 1) / child_stride) + 1 in
+  let cur = Array.make nc 0 in
+  let child_len c = min child_stride (run_len - (c * child_stride)) in
+  (* binary min-heap of (value, child); ties broken by child index *)
+  let hval = Array.make nc 0 and hchild = Array.make nc 0 in
+  let hsize = ref 0 in
+  let less i j = hval.(i) < hval.(j) || (hval.(i) = hval.(j) && hchild.(i) < hchild.(j)) in
+  let swap i j =
+    let tv = hval.(i) and tc = hchild.(i) in
+    hval.(i) <- hval.(j);
+    hchild.(i) <- hchild.(j);
+    hval.(j) <- tv;
+    hchild.(j) <- tc
+  in
+  let rec down i =
+    let l = (2 * i) + 1 in
+    if l < !hsize then begin
+      let m = if l + 1 < !hsize && less (l + 1) l then l + 1 else l in
+      if less m i then begin
+        swap i m;
+        down m
+      end
+    end
+  in
+  let rec up i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if less i p then begin
+        swap i p;
+        up p
+      end
+    end
+  in
+  for c = 0 to nc - 1 do
+    if child_len c > 0 then begin
+      hval.(!hsize) <- src.(run_base + (c * child_stride));
+      hchild.(!hsize) <- c;
+      incr hsize;
+      up (!hsize - 1)
+    end
+  done;
+  let record s =
+    if sample > 0 then begin
+      let b = state_base + (s / sample * fanout) in
+      for c = 0 to nc - 1 do
+        cursors.(b + c) <- cur.(c)
+      done
+    end
+  in
+  for emitted = 0 to run_len - 1 do
+    if sample > 0 && emitted mod sample = 0 then record emitted;
+    let v = hval.(0) and c = hchild.(0) in
+    dst.(run_base + emitted) <- v;
+    cur.(c) <- cur.(c) + 1;
+    if cur.(c) < child_len c then begin
+      hval.(0) <- src.(run_base + (c * child_stride) + cur.(c));
+      down 0
+    end
+    else begin
+      decr hsize;
+      if !hsize > 0 then begin
+        swap 0 !hsize;
+        down 0
+      end
+    end
+  done;
+  if sample > 0 && run_len mod sample = 0 then record run_len
+
+let create ?pool ?(fanout = 32) ?(sample = 32) a =
+  let pool = match pool with Some p -> p | None -> Task_pool.default () in
+  let n = Array.length a in
+  let h = ref 0 in
+  let s = ref 1 in
+  while !s < n do
+    s := !s * fanout;
+    incr h
+  done;
+  let h = !h in
+  let stride = Array.make (h + 1) 1 in
+  for j = 1 to h do
+    stride.(j) <- stride.(j - 1) * fanout
+  done;
+  let levels = Array.init (h + 1) (fun j -> if j = 0 then Array.copy a else Array.make n 0) in
+  let spr = Array.make h 0 in
+  let cursors =
+    Array.init h (fun j ->
+        if sample = 0 then [||]
+        else begin
+          let run_len = min stride.(j + 1) n in
+          let nruns = if n = 0 then 0 else ((n - 1) / stride.(j + 1)) + 1 in
+          spr.(j) <- (run_len / sample) + 1;
+          Array.make (nruns * spr.(j) * fanout) 0
+        end)
+  in
+  for j = 1 to h do
+    let l = stride.(j) in
+    let nruns = ((n - 1) / l) + 1 in
+    let src = levels.(j - 1) and dst = levels.(j) in
+    let runs_per_task = max 1 (Task_pool.default_task_size / l) in
+    Task_pool.parallel_for pool ~lo:0 ~hi:nruns ~chunk:runs_per_task (fun rlo rhi ->
+        for r = rlo to rhi - 1 do
+          let run_base = r * l in
+          let run_len = min l (n - run_base) in
+          merge_one_run ~src ~dst ~cursors:cursors.(j - 1)
+            ~state_base:(r * spr.(j - 1) * fanout)
+            ~fanout ~sample ~run_base ~run_len ~child_stride:stride.(j - 1)
+        done)
+  done;
+  { n; fanout; sample; levels; stride; cursors; spr }
+
+(* The historical conversion pass: re-encode every level and cursor array
+   into 32-bit storage, with the same per-element range validation
+   [Mst_compact.of_mst] performs. *)
+let convert_32 t =
+  let narrow src =
+    let n = Array.length src in
+    let a = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout n in
+    for i = 0 to n - 1 do
+      let v = Array.unsafe_get src i in
+      if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+        invalid_arg "Legacy_mst.convert_32: value exceeds 32-bit range";
+      Bigarray.Array1.unsafe_set a i (Int32.of_int v)
+    done;
+    a
+  in
+  (Array.map narrow t.levels, Array.map narrow t.cursors)

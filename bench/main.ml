@@ -51,6 +51,7 @@ let experiments s =
     ("ablation-cascade-raw", fun () -> Figures.ablation_cascade_raw ~rows:s.ablation_rows ());
     ("ablation-task", fun () -> Figures.ablation_task ~rows:s.ablation_rows ());
     ("ablation-store", fun () -> Figures.ablation_store ~rows:s.ablation_rows ());
+    ("mst-width", fun () -> Figures.mst_width ~rows:s.mem_rows ());
     ("ext-dense-rank", fun () -> Figures.ext_dense_rank ~scale:s.fig10_scale ());
     ("micro", Micro.run);
   ]

@@ -1,381 +1,30 @@
-module Bs = Holistic_util.Binary_search
-module Task_pool = Holistic_parallel.Task_pool
+(* The 64-bit instantiation of the merge sort tree template (§5.1): plain
+   [int array] storage, the fully general width. Build and query logic live
+   in {!Mst_template}; this module adds the payload/levels accessors that
+   {!Annotated_mst} and {!Range_tree} build on, plus the §5.1 closed-form
+   element count. *)
 
-type t = {
-  n : int;
-  fanout : int;
-  sample : int;
-  levels : int array array;
-  (* payloads.(j).(i) = base position the element levels.(j).(i) came from *)
-  payloads : int array array option;
-  (* stride.(j) = fanout^j, the nominal run length of level j *)
-  stride : int array;
-  (* cursors.(j) holds the sampled merge-cursor states of level j+1's runs:
-     for the run with index r at level j+1 and sampled position s (a multiple
-     of [sample]), entry [(r * spr.(j) + s / sample) * fanout + c] is the
-     number of elements of child c (at level j) among the first s elements of
-     the run. Empty when [sample = 0]. *)
-  cursors : int array array;
-  (* spr.(j) = sampled states per run of level j+1 *)
-  spr : int array;
-}
+module T = Mst_template.Make (Mst_storage.Int63)
 
-let length t = t.n
-let fanout t = t.fanout
-let sample t = t.sample
-let base t = t.levels.(0)
-let levels t = t.levels
+type t = T.t
+
+let create = T.create
+let length = T.length
+let fanout = T.fanout
+let sample = T.sample
+let levels = T.levels
+let base t = (T.levels t).(0)
 
 let payload_levels t =
-  match t.payloads with
+  match T.payloads t with
   | Some p -> p
   | None -> invalid_arg "Mst.payload_levels: tree was built without ~track_payload"
 
-(* ------------------------------------------------------------------ *)
-(* Construction                                                        *)
-(* ------------------------------------------------------------------ *)
-
-(* Merge the children of one output run of level [j] (children live at level
-   [j - 1], have nominal length [child_stride] and tile [run_base, run_base +
-   run_len)), writing the sorted output and recording cursor states. *)
-let merge_one_run ~src ~src_payload ~dst ~dst_payload ~cursors ~state_base ~fanout ~sample
-    ~run_base ~run_len ~child_stride =
-  let nc = ((run_len - 1) / child_stride) + 1 in
-  (* cur.(c): relative cursor into child c *)
-  let cur = Array.make nc 0 in
-  let child_len c = min child_stride (run_len - (c * child_stride)) in
-  (* binary min-heap of (value, child); ties broken by child index *)
-  let hval = Array.make nc 0 and hchild = Array.make nc 0 in
-  let hsize = ref 0 in
-  let less i j =
-    hval.(i) < hval.(j) || (hval.(i) = hval.(j) && hchild.(i) < hchild.(j))
-  in
-  let swap i j =
-    let tv = hval.(i) and tc = hchild.(i) in
-    hval.(i) <- hval.(j);
-    hchild.(i) <- hchild.(j);
-    hval.(j) <- tv;
-    hchild.(j) <- tc
-  in
-  let rec down i =
-    let l = (2 * i) + 1 in
-    if l < !hsize then begin
-      let m = if l + 1 < !hsize && less (l + 1) l then l + 1 else l in
-      if less m i then begin
-        swap i m;
-        down m
-      end
-    end
-  in
-  let rec up i =
-    if i > 0 then begin
-      let p = (i - 1) / 2 in
-      if less i p then begin
-        swap i p;
-        up p
-      end
-    end
-  in
-  for c = 0 to nc - 1 do
-    if child_len c > 0 then begin
-      hval.(!hsize) <- src.(run_base + (c * child_stride));
-      hchild.(!hsize) <- c;
-      incr hsize;
-      up (!hsize - 1)
-    end
-  done;
-  let record s =
-    if sample > 0 then begin
-      let b = state_base + (s / sample * fanout) in
-      for c = 0 to nc - 1 do
-        cursors.(b + c) <- cur.(c)
-      done
-      (* children beyond nc (ragged run) keep their zero entries *)
-    end
-  in
-  for emitted = 0 to run_len - 1 do
-    if sample > 0 && emitted mod sample = 0 then record emitted;
-    let v = hval.(0) and c = hchild.(0) in
-    dst.(run_base + emitted) <- v;
-    (match src_payload, dst_payload with
-    | Some sp, Some dp -> dp.(run_base + emitted) <- sp.(run_base + (c * child_stride) + cur.(c))
-    | _ -> ());
-    cur.(c) <- cur.(c) + 1;
-    if cur.(c) < child_len c then begin
-      hval.(0) <- src.(run_base + (c * child_stride) + cur.(c));
-      down 0
-    end
-    else begin
-      decr hsize;
-      if !hsize > 0 then begin
-        swap 0 !hsize;
-        down 0
-      end
-    end
-  done;
-  if sample > 0 && run_len mod sample = 0 then record run_len
-
-let create ?pool ?(fanout = 32) ?(sample = 32) ?(track_payload = false) a =
-  if fanout < 2 then invalid_arg "Mst.create: fanout must be >= 2";
-  if sample < 0 then invalid_arg "Mst.create: sample must be >= 0";
-  let pool = match pool with Some p -> p | None -> Task_pool.default () in
-  let n = Array.length a in
-  (* Number of levels above the base: smallest h with fanout^h >= n. *)
-  let h = ref 0 in
-  let s = ref 1 in
-  while !s < n do
-    s := !s * fanout;
-    incr h
-  done;
-  let h = !h in
-  let stride = Array.make (h + 1) 1 in
-  for j = 1 to h do
-    stride.(j) <- stride.(j - 1) * fanout
-  done;
-  let levels = Array.init (h + 1) (fun j -> if j = 0 then Array.copy a else Array.make n 0) in
-  let payloads =
-    if track_payload then
-      Some (Array.init (h + 1) (fun j -> if j = 0 then Array.init n (fun i -> i) else Array.make n 0))
-    else None
-  in
-  let spr = Array.make h 0 in
-  let cursors =
-    Array.init h (fun j ->
-        if sample = 0 then [||]
-        else begin
-          let run_len = min stride.(j + 1) n in
-          let nruns = if n = 0 then 0 else ((n - 1) / stride.(j + 1)) + 1 in
-          spr.(j) <- (run_len / sample) + 1;
-          Array.make (nruns * spr.(j) * fanout) 0
-        end)
-  in
-  for j = 1 to h do
-    let l = stride.(j) in
-    let nruns = ((n - 1) / l) + 1 in
-    let src = levels.(j - 1) and dst = levels.(j) in
-    let src_payload = Option.map (fun p -> p.(j - 1)) payloads in
-    let dst_payload = Option.map (fun p -> p.(j)) payloads in
-    (* Group whole runs into tasks of roughly the pool's task size. *)
-    let runs_per_task = max 1 (Task_pool.default_task_size / l) in
-    Task_pool.parallel_for pool ~lo:0 ~hi:nruns ~chunk:runs_per_task (fun rlo rhi ->
-        for r = rlo to rhi - 1 do
-          let run_base = r * l in
-          let run_len = min l (n - run_base) in
-          merge_one_run ~src ~src_payload ~dst ~dst_payload ~cursors:cursors.(j - 1)
-            ~state_base:(r * spr.(j - 1) * fanout)
-            ~fanout ~sample ~run_base ~run_len ~child_stride:stride.(j - 1)
-        done)
-  done;
-  { n; fanout; sample; levels; payloads; stride; cursors; spr }
-
-(* ------------------------------------------------------------------ *)
-(* Cascaded child positions                                            *)
-(* ------------------------------------------------------------------ *)
-
-(* Position of [less_than] inside child [c] of the node at level [j] spanning
-   [run_base, run_base + run_len), given [pos], the position of [less_than]
-   in the node's own sorted run: the number of child-c elements < less_than.
-   The sampled cursor state at s = ⌊pos/k⌋·k bounds the answer to a window of
-   at most [pos - s < k] elements (§4.2). *)
-let child_position t j run_base pos less_than c ~child_base ~child_len =
-  let below = t.levels.(j - 1) in
-  if t.sample = 0 then
-    Bs.lower_bound below ~lo:child_base ~hi:(child_base + child_len) less_than - child_base
-  else begin
-    let k = t.sample in
-    let s = pos / k * k in
-    let run_idx = run_base / t.stride.(j) in
-    let sbase = ((run_idx * t.spr.(j - 1)) + (s / k)) * t.fanout in
-    let off = t.cursors.(j - 1).(sbase + c) in
-    let whi = min (off + (pos - s)) child_len in
-    Bs.lower_bound below ~lo:(child_base + off) ~hi:(child_base + whi) less_than - child_base
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Counting                                                            *)
-(* ------------------------------------------------------------------ *)
-
-let rec descend_count t j run_base run_len pos lo hi less_than =
-  (* invariant: [lo,hi) intersects but does not contain [run_base, run_base+run_len) *)
-  let lc = t.stride.(j - 1) in
-  let nc = ((run_len - 1) / lc) + 1 in
-  (* hoisted per-node cascade state (the per-child lookup only varies in the
-     cursor slot and search window) *)
-  let below = t.levels.(j - 1) in
-  let sbase, slack =
-    if t.sample = 0 then (0, 0)
-    else begin
-      let k = t.sample in
-      let s = pos / k * k in
-      let run_idx = run_base / t.stride.(j) in
-      (((run_idx * t.spr.(j - 1)) + (s / k)) * t.fanout, pos - s)
-    end
-  in
-  let cpos c ~child_base ~child_len =
-    if t.sample = 0 then
-      Bs.lower_bound below ~lo:child_base ~hi:(child_base + child_len) less_than - child_base
-    else begin
-      let off = Array.unsafe_get t.cursors.(j - 1) (sbase + c) in
-      let whi = min (off + slack) child_len in
-      Bs.lower_bound below ~lo:(child_base + off) ~hi:(child_base + whi) less_than - child_base
-    end
-  in
-  let c_first = if lo <= run_base then 0 else (lo - run_base) / lc in
-  let c_last = if hi >= run_base + run_len then nc - 1 else (hi - 1 - run_base) / lc in
-  let inside = c_last - c_first + 1 in
-  (* contribution of child [c], whether covered or partial *)
-  let contrib cp ~child_base ~child_len =
-    if lo <= child_base && child_base + child_len <= hi then cp
-    else descend_count t (j - 1) child_base child_len cp lo hi less_than
-  in
-  if 2 * inside <= nc + 2 then begin
-    (* few children intersect: sum them directly *)
-    let acc = ref 0 in
-    for c = c_first to c_last do
-      let child_base = run_base + (c * lc) in
-      let child_len = min lc (run_len - (c * lc)) in
-      acc := !acc + contrib (cpos c ~child_base ~child_len) ~child_base ~child_len
-    done;
-    !acc
-  end
-  else begin
-    (* most children are covered: start from the node's own count and
-       subtract the children outside the range (the cheaper complement) *)
-    let acc = ref pos in
-    for c = 0 to c_first - 1 do
-      let child_base = run_base + (c * lc) in
-      let child_len = min lc (run_len - (c * lc)) in
-      acc := !acc - cpos c ~child_base ~child_len
-    done;
-    for c = c_last + 1 to nc - 1 do
-      let child_base = run_base + (c * lc) in
-      let child_len = min lc (run_len - (c * lc)) in
-      acc := !acc - cpos c ~child_base ~child_len
-    done;
-    let fix c =
-      let child_base = run_base + (c * lc) in
-      let child_len = min lc (run_len - (c * lc)) in
-      if not (lo <= child_base && child_base + child_len <= hi) then begin
-        let cp = cpos c ~child_base ~child_len in
-        acc := !acc - cp + descend_count t (j - 1) child_base child_len cp lo hi less_than
-      end
-    in
-    fix c_first;
-    if c_last <> c_first then fix c_last;
-    !acc
-  end
-
-let count t ~lo ~hi ~less_than =
-  let lo = max lo 0 and hi = min hi t.n in
-  if lo >= hi then 0
-  else begin
-    let h = Array.length t.levels - 1 in
-    let pos = Bs.lower_bound t.levels.(h) ~lo:0 ~hi:t.n less_than in
-    if lo = 0 && hi = t.n then pos
-    else descend_count t h 0 t.n pos lo hi less_than
-  end
-
-let count_ranges t ~ranges ~less_than =
-  Array.fold_left (fun acc (lo, hi) -> acc + count t ~lo ~hi ~less_than) 0 ranges
-
-let rec descend_iter t j run_base run_len pos lo hi less_than f =
-  let child_stride = t.stride.(j - 1) in
-  let nc = ((run_len - 1) / child_stride) + 1 in
-  for c = 0 to nc - 1 do
-    let child_base = run_base + (c * child_stride) in
-    let child_len = min child_stride (run_len - (c * child_stride)) in
-    if child_base < hi && child_base + child_len > lo then begin
-      let cpos = child_position t j run_base pos less_than c ~child_base ~child_len in
-      if lo <= child_base && child_base + child_len <= hi then
-        f ~level:(j - 1) ~base:child_base ~prefix:cpos
-      else descend_iter t (j - 1) child_base child_len cpos lo hi less_than f
-    end
-  done
-
-let iter_covered t ~lo ~hi ~less_than f =
-  let lo = max lo 0 and hi = min hi t.n in
-  if lo < hi then begin
-    let h = Array.length t.levels - 1 in
-    let pos = Bs.lower_bound t.levels.(h) ~lo:0 ~hi:t.n less_than in
-    if lo = 0 && hi = t.n then f ~level:h ~base:0 ~prefix:pos
-    else descend_iter t h 0 t.n pos lo hi less_than f
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Selection                                                           *)
-(* ------------------------------------------------------------------ *)
-
-let count_value_ranges t ~ranges =
-  if t.n = 0 then 0
-  else begin
-    let h = Array.length t.levels - 1 in
-    let top = t.levels.(h) in
-    Array.fold_left
-      (fun acc (vlo, vhi) ->
-        acc + Bs.lower_bound top ~lo:0 ~hi:t.n vhi - Bs.lower_bound top ~lo:0 ~hi:t.n vlo)
-      0 ranges
-  end
-
-(* [bounds] holds, for the current node's run, the run-relative position of
-   every range bound: bounds.(2r) for ranges.(r)'s lower value bound,
-   bounds.(2r+1) for its upper. The qualifying count inside the node is
-   Σ (bounds.(2r+1) - bounds.(2r)). *)
-let rec descend_select t j run_base run_len (ranges : (int * int) array) bounds m =
-  if j = 0 then begin
-    assert (m = 0);
-    t.levels.(0).(run_base)
-  end
-  else begin
-    let child_stride = t.stride.(j - 1) in
-    let nc = ((run_len - 1) / child_stride) + 1 in
-    let nr = Array.length ranges in
-    let child_bounds = Array.make (2 * nr) 0 in
-    let m = ref m in
-    let result = ref 0 in
-    let found = ref false in
-    let c = ref 0 in
-    while not !found do
-      assert (!c < nc);
-      let child_base = run_base + (!c * child_stride) in
-      let child_len = min child_stride (run_len - (!c * child_stride)) in
-      let qual = ref 0 in
-      for b = 0 to (2 * nr) - 1 do
-        let v = if b land 1 = 0 then fst ranges.(b / 2) else snd ranges.(b / 2) in
-        child_bounds.(b) <-
-          child_position t j run_base bounds.(b) v !c ~child_base ~child_len;
-        if b land 1 = 1 then qual := !qual + child_bounds.(b) - child_bounds.(b - 1)
-      done;
-      if !m < !qual then begin
-        result := descend_select t (j - 1) child_base child_len ranges child_bounds !m;
-        found := true
-      end
-      else begin
-        m := !m - !qual;
-        incr c
-      end
-    done;
-    !result
-  end
-
-let select t ~ranges ~nth =
-  let total = count_value_ranges t ~ranges in
-  if nth < 0 || nth >= total then
-    invalid_arg
-      (Printf.sprintf "Mst.select: nth=%d out of bounds (%d qualifying)" nth total);
-  let h = Array.length t.levels - 1 in
-  let top = t.levels.(h) in
-  let nr = Array.length ranges in
-  let bounds = Array.make (2 * nr) 0 in
-  for r = 0 to nr - 1 do
-    let vlo, vhi = ranges.(r) in
-    bounds.(2 * r) <- Bs.lower_bound top ~lo:0 ~hi:t.n vlo;
-    bounds.((2 * r) + 1) <- Bs.lower_bound top ~lo:0 ~hi:t.n vhi
-  done;
-  descend_select t h 0 t.n ranges bounds nth
-
-(* ------------------------------------------------------------------ *)
-(* Statistics                                                          *)
-(* ------------------------------------------------------------------ *)
+let count = T.count
+let count_ranges = T.count_ranges
+let iter_covered = T.iter_covered
+let count_value_ranges = T.count_value_ranges
+let select = T.select
 
 type internals = {
   int_levels : int array array;
@@ -385,29 +34,21 @@ type internals = {
 }
 
 let internals t =
-  { int_levels = t.levels; int_cursors = t.cursors; strides = t.stride; states_per_run = t.spr }
+  {
+    int_levels = T.levels t;
+    int_cursors = T.cursors t;
+    strides = T.stride t;
+    states_per_run = T.spr t;
+  }
 
-type stats = {
+type stats = T.stats = {
   level_elements : int;
   cursor_elements : int;
   payload_elements : int;
   heap_bytes : int;
 }
 
-let stats t =
-  let level_elements = Array.fold_left (fun acc l -> acc + Array.length l) 0 t.levels in
-  let cursor_elements = Array.fold_left (fun acc c -> acc + Array.length c) 0 t.cursors in
-  let payload_elements =
-    match t.payloads with
-    | None -> 0
-    | Some p -> Array.fold_left (fun acc l -> acc + Array.length l) 0 p
-  in
-  {
-    level_elements;
-    cursor_elements;
-    payload_elements;
-    heap_bytes = 8 * (level_elements + cursor_elements + payload_elements);
-  }
+let stats = T.stats
 
 let element_count_formula ~n ~fanout ~sample =
   if n <= 1 then n

@@ -1,0 +1,48 @@
+(** 16-bit merge sort trees (paper §5.1).
+
+    The int16_unsigned-bigarray instantiation of the per-width template
+    ({!Mst_template}): a quarter of the 64-bit cache footprint on the
+    bandwidth-bound probe path, and — unlike int32 — bigarray reads come
+    back as immediate ints, so nothing boxes. Fits any operand whose values
+    {e and} length stay below 2^16; the window operator's rank encodings
+    satisfy this for every partition up to 65535 rows, which
+    {!Mst_width.width_for} exploits. *)
+
+type t
+
+val create :
+  ?pool:Holistic_parallel.Task_pool.t ->
+  ?fanout:int ->
+  ?sample:int ->
+  ?track_payload:bool ->
+  int array ->
+  t
+(** Direct narrow-width construction; same contract as {!Mst.create}.
+    @raise Invalid_argument if a value is negative or exceeds 65535, or the
+    array is longer than 65535 elements. *)
+
+val length : t -> int
+val fanout : t -> int
+val sample : t -> int
+
+val count : t -> lo:int -> hi:int -> less_than:int -> int
+(** Same contract as {!Mst.count}. *)
+
+val count_ranges : t -> ranges:(int * int) array -> less_than:int -> int
+
+val select : t -> ranges:(int * int) array -> nth:int -> int
+(** Same contract as {!Mst.select}. *)
+
+val count_value_ranges : t -> ranges:(int * int) array -> int
+
+type stats = {
+  level_elements : int;
+  cursor_elements : int;
+  payload_elements : int;
+  heap_bytes : int;  (** total bytes at 2 bytes per element *)
+}
+
+val stats : t -> stats
+
+val heap_bytes : t -> int
+(** Bytes held by the representation (2 per element). *)

@@ -1,195 +1,35 @@
-(* The 32-bit instantiation of the merge sort tree (§5.1). The query logic
-   deliberately mirrors Mst's descent — this is the second instantiation of
-   the paper's per-integer-width template, specialised on int32 bigarrays. *)
+(* The 32-bit instantiation of the merge sort tree template (§5.1),
+   specialised on int32 bigarrays. {!create} builds *directly* into the
+   narrow buffers — no 64-bit tree is materialised, so peak memory is the
+   compact tree alone and build-phase traffic is halved. The historical
+   build-then-convert path ({!of_mst}) is kept for comparison benchmarks. *)
 
-type ba = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+module T = Mst_template.Make (Mst_storage.Int32s)
 
-type t = {
-  n : int;
-  fanout : int;
-  sample : int;
-  levels : ba array;
-  cursors : ba array;
-  stride : int array;
-  spr : int array;
-}
+type t = T.t
 
-let get (a : ba) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
-
-let to_ba (src : int array) =
-  let n = Array.length src in
-  let a = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout n in
-  for i = 0 to n - 1 do
-    let v = src.(i) in
-    if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
-      invalid_arg "Mst_compact.of_mst: value exceeds 32-bit range";
-    Bigarray.Array1.unsafe_set a i (Int32.of_int v)
-  done;
-  a
+let create = T.create
 
 let of_mst mst =
   let ir = Mst.internals mst in
-  {
-    n = Mst.length mst;
-    fanout = Mst.fanout mst;
-    sample = Mst.sample mst;
-    levels = Array.map to_ba ir.Mst.int_levels;
-    cursors = Array.map to_ba ir.Mst.int_cursors;
-    stride = ir.Mst.strides;
-    spr = ir.Mst.states_per_run;
-  }
+  T.of_int_internals ~msg:"Mst_compact.of_mst: value exceeds 32-bit range" ~n:(Mst.length mst)
+    ~fanout:(Mst.fanout mst) ~sample:(Mst.sample mst) ~levels:ir.Mst.int_levels
+    ~cursors:ir.Mst.int_cursors ~stride:ir.Mst.strides ~spr:ir.Mst.states_per_run
 
-let length t = t.n
+let length = T.length
+let fanout = T.fanout
+let sample = T.sample
+let count = T.count
+let count_ranges = T.count_ranges
+let count_value_ranges = T.count_value_ranges
+let select = T.select
 
-let heap_bytes t =
-  let dim (a : ba) = Bigarray.Array1.dim a in
-  4
-  * (Array.fold_left (fun acc a -> acc + dim a) 0 t.levels
-    + Array.fold_left (fun acc a -> acc + dim a) 0 t.cursors)
+type stats = T.stats = {
+  level_elements : int;
+  cursor_elements : int;
+  payload_elements : int;
+  heap_bytes : int;
+}
 
-(* lower_bound over a sorted bigarray segment *)
-let lower_bound (a : ba) ~lo ~hi x =
-  let lo = ref lo and len = ref (hi - lo) in
-  while !len > 0 do
-    let half = !len / 2 in
-    let mid = !lo + half in
-    if get a mid < x then begin
-      lo := mid + 1;
-      len := !len - half - 1
-    end
-    else len := half
-  done;
-  !lo
-
-let child_position t j run_base pos less_than c ~child_base ~child_len =
-  let below = t.levels.(j - 1) in
-  if t.sample = 0 then lower_bound below ~lo:child_base ~hi:(child_base + child_len) less_than - child_base
-  else begin
-    let k = t.sample in
-    let s = pos / k * k in
-    let run_idx = run_base / t.stride.(j) in
-    let sbase = ((run_idx * t.spr.(j - 1)) + (s / k)) * t.fanout in
-    let off = get t.cursors.(j - 1) (sbase + c) in
-    let whi = min (off + (pos - s)) child_len in
-    lower_bound below ~lo:(child_base + off) ~hi:(child_base + whi) less_than - child_base
-  end
-
-let rec descend_count t j run_base run_len pos lo hi less_than =
-  let lc = t.stride.(j - 1) in
-  let nc = ((run_len - 1) / lc) + 1 in
-  let cpos c ~child_base ~child_len = child_position t j run_base pos less_than c ~child_base ~child_len in
-  let c_first = if lo <= run_base then 0 else (lo - run_base) / lc in
-  let c_last = if hi >= run_base + run_len then nc - 1 else (hi - 1 - run_base) / lc in
-  let inside = c_last - c_first + 1 in
-  let contrib cp ~child_base ~child_len =
-    if lo <= child_base && child_base + child_len <= hi then cp
-    else descend_count t (j - 1) child_base child_len cp lo hi less_than
-  in
-  if 2 * inside <= nc + 2 then begin
-    let acc = ref 0 in
-    for c = c_first to c_last do
-      let child_base = run_base + (c * lc) in
-      let child_len = min lc (run_len - (c * lc)) in
-      acc := !acc + contrib (cpos c ~child_base ~child_len) ~child_base ~child_len
-    done;
-    !acc
-  end
-  else begin
-    let acc = ref pos in
-    for c = 0 to c_first - 1 do
-      let child_base = run_base + (c * lc) in
-      let child_len = min lc (run_len - (c * lc)) in
-      acc := !acc - cpos c ~child_base ~child_len
-    done;
-    for c = c_last + 1 to nc - 1 do
-      let child_base = run_base + (c * lc) in
-      let child_len = min lc (run_len - (c * lc)) in
-      acc := !acc - cpos c ~child_base ~child_len
-    done;
-    let fix c =
-      let child_base = run_base + (c * lc) in
-      let child_len = min lc (run_len - (c * lc)) in
-      if not (lo <= child_base && child_base + child_len <= hi) then begin
-        let cp = cpos c ~child_base ~child_len in
-        acc := !acc - cp + descend_count t (j - 1) child_base child_len cp lo hi less_than
-      end
-    in
-    fix c_first;
-    if c_last <> c_first then fix c_last;
-    !acc
-  end
-
-let count t ~lo ~hi ~less_than =
-  let lo = max lo 0 and hi = min hi t.n in
-  if lo >= hi then 0
-  else begin
-    let h = Array.length t.levels - 1 in
-    let pos = lower_bound t.levels.(h) ~lo:0 ~hi:t.n less_than in
-    if lo = 0 && hi = t.n then pos else descend_count t h 0 t.n pos lo hi less_than
-  end
-
-let count_ranges t ~ranges ~less_than =
-  Array.fold_left (fun acc (lo, hi) -> acc + count t ~lo ~hi ~less_than) 0 ranges
-
-let count_value_ranges t ~ranges =
-  if t.n = 0 then 0
-  else begin
-    let h = Array.length t.levels - 1 in
-    let top = t.levels.(h) in
-    Array.fold_left
-      (fun acc (vlo, vhi) ->
-        acc + lower_bound top ~lo:0 ~hi:t.n vhi - lower_bound top ~lo:0 ~hi:t.n vlo)
-      0 ranges
-  end
-
-let rec descend_select t j run_base run_len (ranges : (int * int) array) bounds m =
-  if j = 0 then begin
-    assert (m = 0);
-    get t.levels.(0) run_base
-  end
-  else begin
-    let child_stride = t.stride.(j - 1) in
-    let nc = ((run_len - 1) / child_stride) + 1 in
-    let nr = Array.length ranges in
-    let child_bounds = Array.make (2 * nr) 0 in
-    let m = ref m in
-    let result = ref 0 in
-    let found = ref false in
-    let c = ref 0 in
-    while not !found do
-      assert (!c < nc);
-      let child_base = run_base + (!c * child_stride) in
-      let child_len = min child_stride (run_len - (!c * child_stride)) in
-      let qual = ref 0 in
-      for b = 0 to (2 * nr) - 1 do
-        let v = if b land 1 = 0 then fst ranges.(b / 2) else snd ranges.(b / 2) in
-        child_bounds.(b) <- child_position t j run_base bounds.(b) v !c ~child_base ~child_len;
-        if b land 1 = 1 then qual := !qual + child_bounds.(b) - child_bounds.(b - 1)
-      done;
-      if !m < !qual then begin
-        result := descend_select t (j - 1) child_base child_len ranges child_bounds !m;
-        found := true
-      end
-      else begin
-        m := !m - !qual;
-        incr c
-      end
-    done;
-    !result
-  end
-
-let select t ~ranges ~nth =
-  let total = count_value_ranges t ~ranges in
-  if nth < 0 || nth >= total then
-    invalid_arg
-      (Printf.sprintf "Mst_compact.select: nth=%d out of bounds (%d qualifying)" nth total);
-  let h = Array.length t.levels - 1 in
-  let top = t.levels.(h) in
-  let nr = Array.length ranges in
-  let bounds = Array.make (2 * nr) 0 in
-  for r = 0 to nr - 1 do
-    let vlo, vhi = ranges.(r) in
-    bounds.(2 * r) <- lower_bound top ~lo:0 ~hi:t.n vlo;
-    bounds.((2 * r) + 1) <- lower_bound top ~lo:0 ~hi:t.n vhi
-  done;
-  descend_select t h 0 t.n ranges bounds nth
+let stats = T.stats
+let heap_bytes t = (T.stats t).T.heap_bytes

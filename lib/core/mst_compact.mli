@@ -1,23 +1,37 @@
 (** 32-bit merge sort trees (paper §5.1).
 
     The paper builds its trees with 32-bit integers whenever the partition
-    fits, halving memory and easing memory-bandwidth pressure. This module
-    is the OCaml analogue: a bit-identical clone of a built {!Mst} with all
-    level and cursor arrays re-encoded into int32 bigarrays, answering the
-    same count and select queries. Mirrors the paper's per-width template
-    instantiation; the [ablation-store] benchmark measures the resulting
-    space/time trade-off (in OCaml the 4-byte reads box through [Int32], so
-    unlike C++ the compact tree trades some CPU for the halved footprint).
-
-    Build 64-bit, convert once, drop the original: peak memory during
-    conversion is 1.5× the 64-bit tree. *)
+    fits, halving memory and easing memory-bandwidth pressure. This is the
+    int32-bigarray instantiation of the per-width template
+    ({!Mst_template}): identical build and query logic to {!Mst}, narrow
+    storage. {!create} builds {e directly} into the narrow level/cursor
+    buffers — no 64-bit tree is materialised and peak memory is the compact
+    tree alone. The [mst-width] benchmark measures the space/time trade-off
+    against the 64- and 16-bit instantiations. *)
 
 type t
 
+val create :
+  ?pool:Holistic_parallel.Task_pool.t ->
+  ?fanout:int ->
+  ?sample:int ->
+  ?track_payload:bool ->
+  int array ->
+  t
+(** Direct narrow-width construction; same contract as {!Mst.create}.
+    @raise Invalid_argument if a value (or the array length) exceeds the
+    32-bit storage range. *)
+
 val of_mst : Mst.t -> t
-(** @raise Invalid_argument if any stored value falls outside int32 range. *)
+(** The historical build-then-convert path: re-encode an already-built
+    64-bit tree. Peak memory is the {e sum} of both trees; kept as the
+    baseline the [mst-width] benchmark compares direct construction
+    against.
+    @raise Invalid_argument if any stored value falls outside int32 range. *)
 
 val length : t -> int
+val fanout : t -> int
+val sample : t -> int
 
 val count : t -> lo:int -> hi:int -> less_than:int -> int
 (** Same contract as {!Mst.count}. *)
@@ -28,6 +42,15 @@ val select : t -> ranges:(int * int) array -> nth:int -> int
 (** Same contract as {!Mst.select}. *)
 
 val count_value_ranges : t -> ranges:(int * int) array -> int
+
+type stats = {
+  level_elements : int;
+  cursor_elements : int;
+  payload_elements : int;
+  heap_bytes : int;  (** total bytes at 4 bytes per element *)
+}
+
+val stats : t -> stats
 
 val heap_bytes : t -> int
 (** Bytes held by the compact representation (4 per element). *)

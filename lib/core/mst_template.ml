@@ -1,0 +1,583 @@
+(* The width-polymorphic merge sort tree (paper §4, §5.1).
+
+   The paper's §5.1 storage layout is a per-integer-width template: every
+   MST operand is rank-encoded into a dense integer domain, so the tree is
+   instantiated at the narrowest width that fits. This functor holds the
+   single copy of the build and query logic; {!Mst}, {!Mst_compact} and
+   {!Mst16} instantiate it over the storages of {!Mst_storage}. Narrow
+   widths build *directly* into their narrow level/cursor buffers — no
+   64-bit tree is materialised first, so peak memory is the narrow tree
+   alone and build-phase memory traffic is halved (resp. quartered)
+   relative to the historical build-then-convert path.
+
+   Levels are merged with a tournament (loser) tree rather than a binary
+   heap: exactly ⌈log₂ fanout⌉ comparisons per emitted element instead of
+   the heap's ~2·log₂ fanout, and the scratch state is reused across all
+   runs of a build task instead of being reallocated per run. *)
+
+module Task_pool = Holistic_parallel.Task_pool
+
+module Make (S : Mst_storage.S) = struct
+  type t = {
+    n : int;
+    fanout : int;
+    sample : int;
+    levels : S.buf array;
+    (* payloads.(j).(i) = base position the element levels.(j).(i) came
+       from; positions stay native ints at every width *)
+    payloads : int array array option;
+    (* stride.(j) = fanout^j, the nominal run length of level j *)
+    stride : int array;
+    (* cursors.(j) holds the sampled merge-cursor states of level j+1's
+       runs: for the run with index r at level j+1 and sampled position s (a
+       multiple of [sample]), entry [(r * spr.(j) + s / sample) * fanout + c]
+       is the number of elements of child c (at level j) among the first s
+       elements of the run. Empty when [sample = 0]. *)
+    cursors : S.buf array;
+    (* spr.(j) = sampled states per run of level j+1 *)
+    spr : int array;
+  }
+
+  let length t = t.n
+  let fanout t = t.fanout
+  let sample t = t.sample
+  let levels t = t.levels
+  let cursors t = t.cursors
+  let stride t = t.stride
+  let spr t = t.spr
+  let payloads t = t.payloads
+
+  (* ------------------------------------------------------------------ *)
+  (* Construction                                                        *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Loser-tree merge scratch, sized once per build task for the maximum
+     child count and reused across the task's runs. *)
+  type scratch = {
+    cur : int array; (* relative cursor into each child *)
+    cbase : int array; (* absolute start of each child's source segment *)
+    clen : int array; (* length of each child's source segment *)
+    lval : int array; (* current head value per leaf *)
+    lkey : int array; (* tie-break key: child index, or kk + c once exhausted *)
+    node : int array; (* node.(1..kk-1): losing leaf of each internal match *)
+    winners : int array; (* tournament initialisation workspace *)
+  }
+
+  let make_scratch fanout =
+    let kk = ref 1 in
+    while !kk < fanout do
+      kk := !kk * 2
+    done;
+    let kk = !kk in
+    {
+      cur = Array.make fanout 0;
+      cbase = Array.make fanout 0;
+      clen = Array.make fanout 0;
+      lval = Array.make kk 0;
+      lkey = Array.make kk 0;
+      node = Array.make kk 0;
+      winners = Array.make (2 * kk) 0;
+    }
+
+  (* Merge the children of one output run of level [j] (children live at
+     level [j - 1], have nominal length [child_stride] and tile [run_base,
+     run_base + run_len)), writing the sorted output and recording cursor
+     states. Exhausted leaves sit at (max_int, kk + c): a live leaf holding
+     a genuine max_int still wins its ties because its key stays below kk.
+
+     [src]/[dst]/[cursors] are plain [int array] views of the level and
+     cursor storage, globally indexed — either the storage itself (word
+     width) or the shared wide shadows narrowed after the task completes
+     (narrow widths). Keeping the per-element loop on [int array] is what
+     makes one template serve every width without a functor-indirected call
+     per element (no flambda). *)
+  let merge_one_run ~sc ~src ~src_payload ~dst ~dst_payload ~cursors ~state_base ~fanout ~sample
+      ~run_base ~run_len ~child_stride =
+    let nc = ((run_len - 1) / child_stride) + 1 in
+    let kk = ref 1 in
+    while !kk < nc do
+      kk := !kk * 2
+    done;
+    let kk = !kk in
+    let cur = sc.cur and cbase = sc.cbase and clen = sc.clen in
+    let lval = sc.lval and lkey = sc.lkey and node = sc.node in
+    let sbase = run_base and dbase = run_base in
+    for c = 0 to kk - 1 do
+      if c < nc then begin
+        let len = min child_stride (run_len - (c * child_stride)) in
+        cur.(c) <- 0;
+        cbase.(c) <- sbase + (c * child_stride);
+        clen.(c) <- len;
+        if len > 0 then begin
+          lval.(c) <- src.(sbase + (c * child_stride));
+          lkey.(c) <- c
+        end
+        else begin
+          lval.(c) <- max_int;
+          lkey.(c) <- kk + c
+        end
+      end
+      else begin
+        lval.(c) <- max_int;
+        lkey.(c) <- kk + c
+      end
+    done;
+    let less a b = lval.(a) < lval.(b) || (lval.(a) = lval.(b) && lkey.(a) < lkey.(b)) in
+    (* initial tournament: winners bubble up, losers stick to the nodes *)
+    let w = sc.winners in
+    for c = 0 to kk - 1 do
+      w.(kk + c) <- c
+    done;
+    for i = kk - 1 downto 1 do
+      let a = w.(2 * i) and b = w.((2 * i) + 1) in
+      if less a b then begin
+        w.(i) <- a;
+        node.(i) <- b
+      end
+      else begin
+        w.(i) <- b;
+        node.(i) <- a
+      end
+    done;
+    let winner = ref (if kk = 1 then 0 else w.(1)) in
+    let winner_val = ref lval.(!winner) in
+    (* cursor states are recorded every [sample] elements; a countdown
+       avoids a division per emitted element, and states land sequentially
+       from [state_base] *)
+    let state = ref state_base in
+    let until_record = ref 0 in
+    for emitted = 0 to run_len - 1 do
+      if sample > 0 then begin
+        if !until_record = 0 then begin
+          let b = !state in
+          for c = 0 to nc - 1 do
+            Array.unsafe_set cursors (b + c) (Array.unsafe_get cur c)
+          done;
+          state := b + fanout;
+          until_record := sample
+        end;
+        decr until_record
+      end;
+      let c = !winner in
+      Array.unsafe_set dst (dbase + emitted) !winner_val;
+      (match src_payload, dst_payload with
+      | Some sp, Some dp ->
+          Array.unsafe_set dp (run_base + emitted)
+            (Array.unsafe_get sp (Array.unsafe_get cbase c + Array.unsafe_get cur c))
+      | _ -> ());
+      let cc = Array.unsafe_get cur c + 1 in
+      Array.unsafe_set cur c cc;
+      if cc < Array.unsafe_get clen c then
+        Array.unsafe_set lval c (Array.unsafe_get src (Array.unsafe_get cbase c + cc))
+      else begin
+        Array.unsafe_set lval c max_int;
+        Array.unsafe_set lkey c (kk + c)
+      end;
+      (* replay the matches on the path from leaf [c] to the root; the
+         running winner's (value, key) ride in registers, arrays are only
+         read for the stored losers *)
+      let wc = ref c in
+      let wv = ref (Array.unsafe_get lval c) in
+      let wk = ref (Array.unsafe_get lkey c) in
+      let i = ref ((kk + c) lsr 1) in
+      while !i >= 1 do
+        let l = Array.unsafe_get node !i in
+        let lv = Array.unsafe_get lval l in
+        if lv < !wv || (lv = !wv && Array.unsafe_get lkey l < !wk) then begin
+          Array.unsafe_set node !i !wc;
+          wc := l;
+          wv := lv;
+          wk := Array.unsafe_get lkey l
+        end;
+        i := !i lsr 1
+      done;
+      winner := !wc;
+      winner_val := !wv
+    done;
+    (* trailing state at position [run_len], present iff it is a sample
+       multiple (countdown hits zero exactly then) *)
+    if sample > 0 && !until_record = 0 then begin
+      let b = !state in
+      for c = 0 to nc - 1 do
+        Array.unsafe_set cursors (b + c) (Array.unsafe_get cur c)
+      done
+    end
+
+  let create ?pool ?(fanout = 32) ?(sample = 32) ?(track_payload = false) a =
+    if fanout < 2 then invalid_arg (S.name ^ ".create: fanout must be >= 2");
+    if sample < 0 then invalid_arg (S.name ^ ".create: sample must be >= 0");
+    let pool = match pool with Some p -> p | None -> Task_pool.default () in
+    let n = Array.length a in
+    if n > S.max_value then
+      invalid_arg
+        (Printf.sprintf "%s.create: length %d exceeds %d-bit storage" S.name n S.width_bits);
+    let range_msg =
+      Printf.sprintf "%s.create: value exceeds %d-bit storage range" S.name S.width_bits
+    in
+    (* Number of levels above the base: smallest h with fanout^h >= n. *)
+    let h = ref 0 in
+    let s = ref 1 in
+    while !s < n do
+      s := !s * fanout;
+      incr h
+    done;
+    let h = !h in
+    let stride = Array.make (h + 1) 1 in
+    for j = 1 to h do
+      stride.(j) <- stride.(j - 1) * fanout
+    done;
+    let levels =
+      Array.init (h + 1) (fun j -> if j = 0 then S.of_int_array ~msg:range_msg a else S.create n)
+    in
+    let payloads =
+      if track_payload then
+        Some
+          (Array.init (h + 1) (fun j ->
+               if j = 0 then Array.init n (fun i -> i) else Array.make n 0))
+      else None
+    in
+    let spr = Array.make h 0 in
+    let states = Array.make h 0 in
+    let cursors =
+      Array.init h (fun j ->
+          if sample = 0 then S.create 0
+          else begin
+            let run_len = min stride.(j + 1) n in
+            let nruns = if n = 0 then 0 else ((n - 1) / stride.(j + 1)) + 1 in
+            spr.(j) <- (run_len / sample) + 1;
+            states.(j) <- nruns * spr.(j) * fanout;
+            S.create states.(j)
+          end)
+    in
+    (* Narrow widths merge through shared full-width shadow buffers so the
+       per-element loop stays on plain [int array]s (§5.1 template, no
+       flambda): level j's output is produced wide and narrowed into storage
+       span-by-span while each task's output is still cache-warm, then
+       serves as the next level's wide source. Level 0's wide view is the
+       (already validated) input itself, so no widening pass ever runs. The
+       shadows are transient and span 2n + max-states words — far below the
+       full 64-bit tree the historical build-then-convert path kept live.
+       Word-width storage exposes its arrays directly and skips all of
+       this. *)
+    let narrow = n > 0 && S.as_ints levels.(0) = None in
+    let shadow_a = if narrow && h >= 1 then Array.make n 0 else [||] in
+    let shadow_b = if narrow && h >= 2 then Array.make n 0 else [||] in
+    let shadow_c =
+      if narrow && sample > 0 && h >= 1 then Array.make (Array.fold_left max 0 states) 0
+      else [||]
+    in
+    for j = 1 to h do
+      let l = stride.(j) in
+      let nruns = ((n - 1) / l) + 1 in
+      let src = levels.(j - 1) and dst = levels.(j) in
+      let src_payload = Option.map (fun p -> p.(j - 1)) payloads in
+      let dst_payload = Option.map (fun p -> p.(j)) payloads in
+      let spr_j = if sample = 0 then 0 else spr.(j - 1) in
+      let sarr, darr, carr =
+        if not narrow then
+          ( Option.get (S.as_ints src),
+            Option.get (S.as_ints dst),
+            if sample = 0 then [||] else Option.get (S.as_ints cursors.(j - 1)) )
+        else
+          ( (if j = 1 then a else if j land 1 = 0 then shadow_a else shadow_b),
+            (if j land 1 = 1 then shadow_a else shadow_b),
+            shadow_c )
+      in
+      (* Group whole runs into tasks of roughly the pool's task size; one
+         scratch per task, shared by all its runs. Tasks touch disjoint
+         spans of the shadows, and the pool joins between levels. *)
+      let runs_per_task = max 1 (Task_pool.default_task_size / l) in
+      Task_pool.parallel_for pool ~lo:0 ~hi:nruns ~chunk:runs_per_task (fun rlo rhi ->
+          let sc = make_scratch fanout in
+          for r = rlo to rhi - 1 do
+            let run_base = r * l in
+            let run_len = min l (n - run_base) in
+            merge_one_run ~sc ~src:sarr ~src_payload ~dst:darr ~dst_payload ~cursors:carr
+              ~state_base:(r * spr_j * fanout)
+              ~fanout ~sample ~run_base ~run_len ~child_stride:stride.(j - 1)
+          done;
+          if narrow then begin
+            let span_base = rlo * l in
+            let span_len = min (rhi * l) n - span_base in
+            S.blit_from_ints darr ~pos:span_base dst ~dst_pos:span_base ~len:span_len;
+            if sample > 0 then begin
+              let state_lo = rlo * spr_j * fanout in
+              let state_len = min (rhi * spr_j * fanout) states.(j - 1) - state_lo in
+              S.blit_from_ints carr ~pos:state_lo cursors.(j - 1) ~dst_pos:state_lo
+                ~len:state_len
+            end
+          end)
+    done;
+    { n; fanout; sample; levels; payloads; stride; cursors; spr }
+
+  (* Re-encode an already-built tree's raw 64-bit representation (the
+     historical {!Mst_compact.of_mst} conversion path, kept for comparison
+     benchmarks). *)
+  let of_int_internals ~msg ~n ~fanout ~sample ~levels ~cursors ~stride ~spr =
+    {
+      n;
+      fanout;
+      sample;
+      levels = Array.map (fun l -> S.of_int_array ~msg l) levels;
+      payloads = None;
+      stride = Array.copy stride;
+      cursors = Array.map (fun c -> S.of_int_array ~msg c) cursors;
+      spr = Array.copy spr;
+    }
+
+  (* ------------------------------------------------------------------ *)
+  (* Cascaded child positions                                            *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Position of [less_than] inside child [c] of the node at level [j]
+     spanning [run_base, run_base + run_len), given [pos], the position of
+     [less_than] in the node's own sorted run. The sampled cursor state at
+     s = ⌊pos/k⌋·k bounds the answer to a window of at most [pos - s < k]
+     elements (§4.2). *)
+  let child_position t j run_base pos less_than c ~child_base ~child_len =
+    let below = t.levels.(j - 1) in
+    if t.sample = 0 then
+      S.lower_bound below ~lo:child_base ~hi:(child_base + child_len) less_than - child_base
+    else begin
+      let k = t.sample in
+      let s = pos / k * k in
+      let run_idx = run_base / t.stride.(j) in
+      let sbase = ((run_idx * t.spr.(j - 1)) + (s / k)) * t.fanout in
+      let off = S.get t.cursors.(j - 1) (sbase + c) in
+      let whi = min (off + (pos - s)) child_len in
+      S.lower_bound below ~lo:(child_base + off) ~hi:(child_base + whi) less_than - child_base
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Counting                                                            *)
+  (* ------------------------------------------------------------------ *)
+
+  let rec descend_count t j run_base run_len pos lo hi less_than =
+    (* invariant: [lo,hi) intersects but does not contain
+       [run_base, run_base+run_len) *)
+    let lc = t.stride.(j - 1) in
+    let nc = ((run_len - 1) / lc) + 1 in
+    (* hoisted per-node cascade state (the per-child lookup only varies in
+       the cursor slot and search window) *)
+    let below = t.levels.(j - 1) in
+    let cursors = t.cursors in
+    let sbase, slack =
+      if t.sample = 0 then (0, 0)
+      else begin
+        let k = t.sample in
+        let s = pos / k * k in
+        let run_idx = run_base / t.stride.(j) in
+        (((run_idx * t.spr.(j - 1)) + (s / k)) * t.fanout, pos - s)
+      end
+    in
+    let cpos c ~child_base ~child_len =
+      if t.sample = 0 then
+        S.lower_bound below ~lo:child_base ~hi:(child_base + child_len) less_than - child_base
+      else begin
+        let off = S.get cursors.(j - 1) (sbase + c) in
+        let whi = min (off + slack) child_len in
+        S.lower_bound below ~lo:(child_base + off) ~hi:(child_base + whi) less_than - child_base
+      end
+    in
+    let c_first = if lo <= run_base then 0 else (lo - run_base) / lc in
+    let c_last = if hi >= run_base + run_len then nc - 1 else (hi - 1 - run_base) / lc in
+    let inside = c_last - c_first + 1 in
+    (* contribution of child [c], whether covered or partial *)
+    let contrib cp ~child_base ~child_len =
+      if lo <= child_base && child_base + child_len <= hi then cp
+      else descend_count t (j - 1) child_base child_len cp lo hi less_than
+    in
+    if 2 * inside <= nc + 2 then begin
+      (* few children intersect: sum them directly *)
+      let acc = ref 0 in
+      for c = c_first to c_last do
+        let child_base = run_base + (c * lc) in
+        let child_len = min lc (run_len - (c * lc)) in
+        acc := !acc + contrib (cpos c ~child_base ~child_len) ~child_base ~child_len
+      done;
+      !acc
+    end
+    else begin
+      (* most children are covered: start from the node's own count and
+         subtract the children outside the range (the cheaper complement) *)
+      let acc = ref pos in
+      for c = 0 to c_first - 1 do
+        let child_base = run_base + (c * lc) in
+        let child_len = min lc (run_len - (c * lc)) in
+        acc := !acc - cpos c ~child_base ~child_len
+      done;
+      for c = c_last + 1 to nc - 1 do
+        let child_base = run_base + (c * lc) in
+        let child_len = min lc (run_len - (c * lc)) in
+        acc := !acc - cpos c ~child_base ~child_len
+      done;
+      let fix c =
+        let child_base = run_base + (c * lc) in
+        let child_len = min lc (run_len - (c * lc)) in
+        if not (lo <= child_base && child_base + child_len <= hi) then begin
+          let cp = cpos c ~child_base ~child_len in
+          acc := !acc - cp + descend_count t (j - 1) child_base child_len cp lo hi less_than
+        end
+      in
+      fix c_first;
+      if c_last <> c_first then fix c_last;
+      !acc
+    end
+
+  let count t ~lo ~hi ~less_than =
+    let lo = max lo 0 and hi = min hi t.n in
+    if lo >= hi then 0
+    else begin
+      let h = Array.length t.levels - 1 in
+      let pos = S.lower_bound t.levels.(h) ~lo:0 ~hi:t.n less_than in
+      if lo = 0 && hi = t.n then pos else descend_count t h 0 t.n pos lo hi less_than
+    end
+
+  let count_ranges t ~ranges ~less_than =
+    Array.fold_left (fun acc (lo, hi) -> acc + count t ~lo ~hi ~less_than) 0 ranges
+
+  let rec descend_iter t j run_base run_len pos lo hi less_than f =
+    let child_stride = t.stride.(j - 1) in
+    let nc = ((run_len - 1) / child_stride) + 1 in
+    for c = 0 to nc - 1 do
+      let child_base = run_base + (c * child_stride) in
+      let child_len = min child_stride (run_len - (c * child_stride)) in
+      if child_base < hi && child_base + child_len > lo then begin
+        let cpos = child_position t j run_base pos less_than c ~child_base ~child_len in
+        if lo <= child_base && child_base + child_len <= hi then
+          f ~level:(j - 1) ~base:child_base ~prefix:cpos
+        else descend_iter t (j - 1) child_base child_len cpos lo hi less_than f
+      end
+    done
+
+  let iter_covered t ~lo ~hi ~less_than f =
+    let lo = max lo 0 and hi = min hi t.n in
+    if lo < hi then begin
+      let h = Array.length t.levels - 1 in
+      let pos = S.lower_bound t.levels.(h) ~lo:0 ~hi:t.n less_than in
+      if lo = 0 && hi = t.n then f ~level:h ~base:0 ~prefix:pos
+      else descend_iter t h 0 t.n pos lo hi less_than f
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Selection                                                           *)
+  (* ------------------------------------------------------------------ *)
+
+  let count_value_ranges t ~ranges =
+    if t.n = 0 then 0
+    else begin
+      let h = Array.length t.levels - 1 in
+      let top = t.levels.(h) in
+      Array.fold_left
+        (fun acc (vlo, vhi) ->
+          acc + S.lower_bound top ~lo:0 ~hi:t.n vhi - S.lower_bound top ~lo:0 ~hi:t.n vlo)
+        0 ranges
+    end
+
+  (* [bounds] holds, for the current node's run, the run-relative position
+     of every range bound: bounds.(2r) for ranges.(r)'s lower value bound,
+     bounds.(2r+1) for its upper. The qualifying count inside the node is
+     Σ (bounds.(2r+1) - bounds.(2r)). *)
+  let rec descend_select t j run_base run_len (ranges : (int * int) array) bounds m =
+    if j = 0 then begin
+      assert (m = 0);
+      S.get t.levels.(0) run_base
+    end
+    else begin
+      let child_stride = t.stride.(j - 1) in
+      let nc = ((run_len - 1) / child_stride) + 1 in
+      let nr = Array.length ranges in
+      let nb = 2 * nr in
+      let child_bounds = Array.make nb 0 in
+      let below = t.levels.(j - 1) in
+      (* hoisted per-node cascade state: the sampled cursor slot and the
+         search slack of each bound are fixed across children, so compute
+         them once per node instead of once per (bound, child) pair *)
+      let sbase = Array.make nb 0 and slack = Array.make nb 0 in
+      if t.sample > 0 then begin
+        let k = t.sample in
+        let node_states = run_base / t.stride.(j) * t.spr.(j - 1) in
+        for b = 0 to nb - 1 do
+          let s = bounds.(b) / k * k in
+          sbase.(b) <- (node_states + (s / k)) * t.fanout;
+          slack.(b) <- bounds.(b) - s
+        done
+      end;
+      let m = ref m in
+      let result = ref 0 in
+      let found = ref false in
+      let c = ref 0 in
+      while not !found do
+        assert (!c < nc);
+        let child_base = run_base + (!c * child_stride) in
+        let child_len = min child_stride (run_len - (!c * child_stride)) in
+        let qual = ref 0 in
+        for b = 0 to nb - 1 do
+          let v = if b land 1 = 0 then fst ranges.(b / 2) else snd ranges.(b / 2) in
+          let cp =
+            if t.sample = 0 then
+              S.lower_bound below ~lo:child_base ~hi:(child_base + child_len) v - child_base
+            else begin
+              let off = S.get t.cursors.(j - 1) (sbase.(b) + !c) in
+              let whi = min (off + slack.(b)) child_len in
+              S.lower_bound below ~lo:(child_base + off) ~hi:(child_base + whi) v - child_base
+            end
+          in
+          child_bounds.(b) <- cp;
+          if b land 1 = 1 then qual := !qual + cp - child_bounds.(b - 1)
+        done;
+        if !m < !qual then begin
+          result := descend_select t (j - 1) child_base child_len ranges child_bounds !m;
+          found := true
+        end
+        else begin
+          m := !m - !qual;
+          incr c
+        end
+      done;
+      !result
+    end
+
+  let select t ~ranges ~nth =
+    let total = count_value_ranges t ~ranges in
+    if nth < 0 || nth >= total then
+      invalid_arg
+        (Printf.sprintf "%s.select: nth=%d out of bounds (%d qualifying)" S.name nth total);
+    let h = Array.length t.levels - 1 in
+    let top = t.levels.(h) in
+    let nr = Array.length ranges in
+    let bounds = Array.make (2 * nr) 0 in
+    for r = 0 to nr - 1 do
+      let vlo, vhi = ranges.(r) in
+      bounds.(2 * r) <- S.lower_bound top ~lo:0 ~hi:t.n vlo;
+      bounds.((2 * r) + 1) <- S.lower_bound top ~lo:0 ~hi:t.n vhi
+    done;
+    descend_select t h 0 t.n ranges bounds nth
+
+  (* ------------------------------------------------------------------ *)
+  (* Statistics                                                          *)
+  (* ------------------------------------------------------------------ *)
+
+  type stats = {
+    level_elements : int;
+    cursor_elements : int;
+    payload_elements : int;
+    heap_bytes : int;
+  }
+
+  let stats t =
+    let level_elements = Array.fold_left (fun acc l -> acc + S.length l) 0 t.levels in
+    let cursor_elements = Array.fold_left (fun acc c -> acc + S.length c) 0 t.cursors in
+    let payload_elements =
+      match t.payloads with
+      | None -> 0
+      | Some p -> Array.fold_left (fun acc l -> acc + Array.length l) 0 p
+    in
+    {
+      level_elements;
+      cursor_elements;
+      payload_elements;
+      heap_bytes =
+        (S.bytes_per_element * (level_elements + cursor_elements)) + (8 * payload_elements);
+    }
+end

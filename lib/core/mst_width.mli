@@ -1,0 +1,44 @@
+(** Automatic storage-width selection for merge sort trees (§5.1).
+
+    Window-operator MST operands are rank encodings: dense integers bounded
+    by the partition size. The narrowest fitting width is therefore known
+    before the build, and building narrow directly (see {!Mst_compact},
+    {!Mst16}) halves or quarters both the tree's footprint and the
+    build-phase memory traffic. This module is the dispatch the operator
+    builds and probes through. *)
+
+type width = W16 | W32 | W64
+
+type choice =
+  | Auto  (** narrowest width that fits the operand (the default) *)
+  | Force of width
+      (** benchmarking knob: use the given width, widened just enough if the
+          operand does not fit it (a forced [W16] over 10^6 rows still
+          computes correct results at the narrowest fitting width) *)
+
+type t = T16 of Mst16.t | T32 of Mst_compact.t | T64 of Mst.t
+
+val bits : width -> int
+
+val width_for : n:int -> min_value:int -> max_value:int -> width
+(** The §5.1 selection rule: narrowest width whose value range covers
+    [\[min_value, max_value\]] {e and} whose count range covers [n] (cursor
+    states count elements of a run, so lengths must fit too). *)
+
+val create :
+  ?pool:Holistic_parallel.Task_pool.t ->
+  ?fanout:int ->
+  ?sample:int ->
+  ?choice:choice ->
+  int array ->
+  t
+(** Builds at the width selected by [choice] (default [Auto]) after a
+    single scan for the operand's value bounds. *)
+
+val width : t -> width
+val length : t -> int
+val count : t -> lo:int -> hi:int -> less_than:int -> int
+val count_ranges : t -> ranges:(int * int) array -> less_than:int -> int
+val count_value_ranges : t -> ranges:(int * int) array -> int
+val select : t -> ranges:(int * int) array -> nth:int -> int
+val heap_bytes : t -> int

@@ -1,7 +1,7 @@
 open Holistic_storage
 module Task_pool = Holistic_parallel.Task_pool
 module Introsort = Holistic_sort.Introsort
-module Mst = Holistic_core.Mst
+module Mstw = Holistic_core.Mst_width
 module Annotated = Holistic_core.Annotated_mst
 module Prev = Holistic_core.Prev_occurrence
 module Rank_encode = Holistic_core.Rank_encode
@@ -21,6 +21,7 @@ type ctx = {
   fanout : int;
   sample : int;
   task_size : int;
+  width : Mstw.choice;
 }
 
 let np ctx = Array.length ctx.rows
@@ -334,7 +335,7 @@ let eval_distinct_count ctx ~acc ~filter ~algorithm ~out =
   | Auto | Mst | Mst_no_cascade ->
       let sample = if algorithm = Mst_no_cascade then 0 else ctx.sample in
       let prev = Prev.compute ~pool:ctx.pool ids in
-      let tree = Mst.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample prev in
+      let tree = Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width prev in
       let next =
         if Frame.exclusion ctx.frame = Window_spec.Exclude_no_others then [||] else next_of prev
       in
@@ -345,10 +346,10 @@ let eval_distinct_count ctx ~acc ~filter ~algorithm ~out =
             | 0 -> 0
             | 1 ->
                 let lo, hi = ranges.(0) in
-                Mst.count tree ~lo ~hi ~less_than:(lo + 1)
+                Mstw.count tree ~lo ~hi ~less_than:(lo + 1)
             | _ ->
                 let span_lo, span_hi = span_of ranges in
-                let base = Mst.count tree ~lo:span_lo ~hi:span_hi ~less_than:(span_lo + 1) in
+                let base = Mstw.count tree ~lo:span_lo ~hi:span_hi ~less_than:(span_lo + 1) in
                 let corr = ref 0 in
                 iter_hole_orphans prev next ranges ~on_orphan:(fun _ -> incr corr);
                 base - !corr
@@ -564,12 +565,9 @@ let eval_rank_family ctx ~variant ~order ~filter ~algorithm ~out =
   | Dense_v, _ -> unsupported "dense_rank supports Auto/Mst/Naive"
   | _, (Auto | Mst | Mst_no_cascade) ->
       let sample = if algorithm = Mst_no_cascade then 0 else ctx.sample in
-      let tree_rank =
-        if needs_rank then Some (Mst.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample frank) else None
-      in
-      let tree_row =
-        if needs_row then Some (Mst.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample frow) else None
-      in
+      let make a = Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width a in
+      let tree_rank = if needs_rank then Some (make frank) else None in
+      let tree_row = if needs_row then Some (make frow) else None in
       probe ctx (fun r ->
           let ranges = mapped_ranges ctx rm r in
           let s = covered_of ranges in
@@ -577,13 +575,14 @@ let eval_rank_family ctx ~variant ~order ~filter ~algorithm ~out =
           let cnt_less, cnt_le =
             match tree_rank with
             | Some t ->
-                ( Mst.count_ranges t ~ranges ~less_than:code,
-                  if variant = Cume_dist_v then Mst.count_ranges t ~ranges ~less_than:(code + 1) else 0 )
+                ( Mstw.count_ranges t ~ranges ~less_than:code,
+                  if variant = Cume_dist_v then Mstw.count_ranges t ~ranges ~less_than:(code + 1)
+                  else 0 )
             | None -> (0, 0)
           in
           let rn0 =
             match tree_row with
-            | Some t -> Mst.count_ranges t ~ranges ~less_than:enc.Rank_encode.row_codes.(r)
+            | Some t -> Mstw.count_ranges t ~ranges ~less_than:enc.Rank_encode.row_codes.(r)
             | None -> 0
           in
           finish r ~cnt_less ~cnt_le ~rn0 ~s)
@@ -709,17 +708,16 @@ let eval_select_family ctx ~kind ~arg ~order ~ignore_nulls ~filter ~algorithm ~o
       let keys = Array.copy fro in
       let permf = Array.init m (fun i -> i) in
       Introsort.sort_pairs ~key:keys ~payload:permf;
-      let sel_tree = Mst.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample permf in
-      let cnt_tree =
-        if needs_rn then Some (Mst.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample fro) else None
-      in
+      let make a = Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width a in
+      let sel_tree = make permf in
+      let cnt_tree = if needs_rn then Some (make fro) else None in
       probe ctx (fun r ->
           let ranges = mapped_ranges ctx rm r in
           let s = covered_of ranges in
           emit_for r ~s
-            ~select_nth:(fun nth -> Remap.position rm (Mst.select sel_tree ~ranges ~nth))
+            ~select_nth:(fun nth -> Remap.position rm (Mstw.select sel_tree ~ranges ~nth))
             ~rn:(fun () ->
-              Mst.count_ranges (Option.get cnt_tree) ~ranges
+              Mstw.count_ranges (Option.get cnt_tree) ~ranges
                 ~less_than:enc.Rank_encode.row_codes.(r)))
   | Naive ->
       Task_pool.parallel_for ctx.pool ~lo:0 ~hi:(np ctx) ~chunk:ctx.task_size (fun lo hi ->

@@ -16,6 +16,8 @@ type ctx = {
   fanout : int;
   sample : int;
   task_size : int;
+  width : Holistic_core.Mst_width.choice;
+      (** storage width for merge sort trees ({!Holistic_core.Mst_width}) *)
 }
 
 val eval_item : ctx -> Window_func.t -> out:Value.t array -> unit

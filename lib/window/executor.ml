@@ -3,24 +3,68 @@ module Task_pool = Holistic_parallel.Task_pool
 module Introsort = Holistic_sort.Introsort
 module Parallel_sort = Holistic_sort.Parallel_sort
 
-(* Dense partition ids from the PARTITION BY expressions. *)
+(* Integer partition keys from the PARTITION BY expressions: two rows get
+   equal keys iff every expression agrees. Per-column keys are computed
+   column-at-a-time (no per-row list allocation, and the expression phase
+   parallelises over the pool); multi-column keys are packed after
+   densifying each side, so the combine is pure integer arithmetic. The
+   stdlib [Hashtbl] compares with polymorphic equality, which preserves the
+   SQL-ish grouping of the old row-key path (NULLs group together, [nan]
+   equals [nan]). *)
+let densify_ints a =
+  let tbl = Hashtbl.create 256 in
+  Array.map
+    (fun v ->
+      match Hashtbl.find_opt tbl v with
+      | Some id -> id
+      | None ->
+          let id = Hashtbl.length tbl in
+          Hashtbl.add tbl v id;
+          id)
+    a
+
 let partition_ids pool table exprs =
   let n = Table.nrows table in
-  ignore pool;
   match exprs with
   | [] -> None
   | _ ->
-      let compiled = List.map (Expr.compile table) exprs in
-      let table_ids = Hashtbl.create 256 in
+      let key_of_expr e =
+        match e with
+        | Expr.Col name ->
+            (* exact per-column equality keys; raw values for int-like
+               columns, so no hash table at all on this path *)
+            Column.distinct_ids (Table.column table name)
+        | _ ->
+            let f = Expr.compile table e in
+            let vals = Array.make n Value.Null in
+            Task_pool.parallel_for pool ~lo:0 ~hi:n ~chunk:Task_pool.default_task_size
+              (fun lo hi ->
+                for i = lo to hi - 1 do
+                  Array.unsafe_set vals i (f i)
+                done);
+            let tbl = Hashtbl.create 256 in
+            Array.map
+              (fun v ->
+                match Hashtbl.find_opt tbl v with
+                | Some id -> id
+                | None ->
+                    let id = Hashtbl.length tbl in
+                    Hashtbl.add tbl v id;
+                    id)
+              vals
+      in
       let ids =
-        Array.init n (fun i ->
-            let key = List.map (fun f -> f i) compiled in
-            match Hashtbl.find_opt table_ids key with
-            | Some id -> id
-            | None ->
-                let id = Hashtbl.length table_ids in
-                Hashtbl.add table_ids key id;
-                id)
+        match List.map key_of_expr exprs with
+        | [] -> assert false
+        | [ k ] -> k
+        | k :: rest ->
+            (* pack pairwise: densified ids are < n, so [a * n + b] is
+               collision-free and stays well inside 63-bit range *)
+            List.fold_left
+              (fun acc k ->
+                let a = densify_ints acc and b = densify_ints k in
+                Array.init n (fun i -> (a.(i) * n) + b.(i)))
+              k rest
       in
       Some ids
 
@@ -63,8 +107,8 @@ let order_permutation ?pool table ~over =
   in
   (perm, boundaries)
 
-let run ?pool ?(fanout = 32) ?(sample = 32) ?(task_size = Task_pool.default_task_size) table
-    ~over items =
+let run ?pool ?(fanout = 32) ?(sample = 32) ?(task_size = Task_pool.default_task_size)
+    ?(width = Holistic_core.Mst_width.Auto) table ~over items =
   let pool = match pool with Some p -> p | None -> Task_pool.default () in
   let n = Table.nrows table in
   let perm, boundaries = order_permutation ~pool table ~over in
@@ -84,6 +128,7 @@ let run ?pool ?(fanout = 32) ?(sample = 32) ?(task_size = Task_pool.default_task
           fanout;
           sample;
           task_size;
+          width;
         }
       in
       List.iter (fun (item, out) -> Evaluators.eval_item ctx item ~out) outputs

@@ -13,6 +13,7 @@ val run :
   ?fanout:int ->
   ?sample:int ->
   ?task_size:int ->
+  ?width:Holistic_core.Mst_width.choice ->
   Table.t ->
   over:Window_spec.t ->
   Window_func.t list ->
@@ -21,7 +22,10 @@ val run :
     the shared window specification and returns the input table extended
     with one column per item (named by the item), in the original row order.
     [fanout]/[sample] are the merge-sort-tree parameters (default 32/32,
-    §6.6); [task_size] the morsel size (default 20 000, §5.5). *)
+    §6.6); [task_size] the morsel size (default 20 000, §5.5); [width]
+    selects the merge-sort-tree storage width (default
+    {!Holistic_core.Mst_width.Auto}, §5.1 — the narrowest width the
+    partition's rank encoding fits). *)
 
 val order_permutation :
   ?pool:Holistic_parallel.Task_pool.t -> Table.t -> over:Window_spec.t -> int array * int array
