@@ -19,6 +19,7 @@ type sizes = {
   table1_base : int;
   mem_rows : int;
   ablation_rows : int;
+  multiwindow_rows : int;
 }
 
 let sizes ~scale ~quick =
@@ -33,6 +34,7 @@ let sizes ~scale ~quick =
     table1_base = f 4_000;
     mem_rows = f 1_000_000;
     ablation_rows = f 200_000;
+    multiwindow_rows = f 400_000;
   }
 
 let experiments s =
@@ -53,6 +55,7 @@ let experiments s =
     ("ablation-store", fun () -> Figures.ablation_store ~rows:s.ablation_rows ());
     ("mst-width", fun () -> Figures.mst_width ~rows:s.mem_rows ());
     ("ext-dense-rank", fun () -> Figures.ext_dense_rank ~scale:s.fig10_scale ());
+    ("sql-multiwindow", fun () -> Multiwindow.run ~rows:s.multiwindow_rows ());
     ("micro", Micro.run);
   ]
 

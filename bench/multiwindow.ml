@@ -1,0 +1,174 @@
+(* The [sql-multiwindow] experiment: a four-clause window query whose OVER
+   specs all share PARTITION BY and whose ORDER BYs are prefix-compatible,
+   run through the shared {!Holistic_window.Window_plan} pipeline (via the
+   SQL front end) against the preserved pre-plan baseline
+   ({!Legacy_window}) that executes each clause independently.
+
+   Parity is checked before anything is timed, and the build counters must
+   show the plan constructing strictly fewer encodings and trees than the
+   baseline — both are hard failures, so CI exercises the sharing logic
+   deterministically even at smoke sizes where wall-clock ratios are
+   noisy. *)
+
+open Holistic_storage
+open Holistic_window
+module Wf = Window_func
+module Rng = Holistic_util.Rng
+module H = Harness
+module Sql = Holistic_sql.Sql
+
+(* [ts] is a distinct date-like string key (think ISO timestamps): ordering
+   by it exercises the boxed comparator path, which the legacy executor
+   pays once per clause and the plan pays once per query. *)
+let make_table rng ~rows ~partitions =
+  let grp = Array.init rows (fun _ -> Rng.int rng partitions) in
+  let shuffled = Array.init rows (fun i -> i) in
+  for i = rows - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = shuffled.(i) in
+    shuffled.(i) <- shuffled.(j);
+    shuffled.(j) <- t
+  done;
+  let ts =
+    Array.map
+      (fun v ->
+        Printf.sprintf "2026-%02d-%02d %02d:%02d:%02d.%06d"
+          (1 + (v / 2_678_400 mod 12))
+          (1 + (v / 86_400 mod 28))
+          (v / 3_600 mod 24) (v / 60 mod 60) (v mod 60) v)
+      shuffled
+  in
+  let x = Array.init rows (fun _ -> Rng.float rng 1000.) in
+  let k = Array.init rows (fun _ -> Rng.int rng 100) in
+  Table.create
+    [
+      ("grp", Column.ints grp);
+      ("ts", Column.strings ts);
+      ("x", Column.floats x);
+      ("k", Column.ints k);
+    ]
+
+let query =
+  "select rank() over (partition by grp order by ts rows between 99 preceding and current row) as r,\n\
+  \       percent_rank() over (partition by grp order by ts rows between 999 preceding and current row) as pr,\n\
+  \       cume_dist() over (partition by grp order by ts rows between 499 preceding and current row) as cd,\n\
+  \       row_number() over (partition by grp order by ts, k rows between 99 preceding and current row) as rn\n\
+   from t"
+
+let clauses () =
+  let grp = Expr.Col "grp" in
+  let by_ts = [ Sort_spec.asc (Expr.Col "ts") ] in
+  let by_ts_k = [ Sort_spec.asc (Expr.Col "ts"); Sort_spec.asc (Expr.Col "k") ] in
+  let back n = Window_spec.rows_between (Window_spec.preceding n) Window_spec.Current_row in
+  [
+    {
+      Window_plan.spec = Window_spec.over ~partition_by:[ grp ] ~order_by:by_ts ~frame:(back 99) ();
+      items = [ Wf.rank ~name:"r" [] ];
+    };
+    {
+      Window_plan.spec = Window_spec.over ~partition_by:[ grp ] ~order_by:by_ts ~frame:(back 999) ();
+      items = [ Wf.percent_rank ~name:"pr" [] ];
+    };
+    {
+      Window_plan.spec = Window_spec.over ~partition_by:[ grp ] ~order_by:by_ts ~frame:(back 499) ();
+      items = [ Wf.cume_dist ~name:"cd" [] ];
+    };
+    {
+      Window_plan.spec = Window_spec.over ~partition_by:[ grp ] ~order_by:by_ts_k ~frame:(back 99) ();
+      items = [ Wf.row_number ~name:"rn" [] ];
+    };
+  ]
+
+let value_eq a b =
+  match a, b with
+  | Value.Float x, Value.Float y ->
+      (Float.is_nan x && Float.is_nan y) || Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.abs x)
+  | _ -> (Value.is_null a && Value.is_null b) || Value.equal a b
+
+let check_parity ~plan ~legacy n =
+  List.iter
+    (fun name ->
+      let pc = Table.column plan name and lc = Table.column legacy name in
+      for i = 0 to n - 1 do
+        if not (value_eq (Column.get pc i) (Column.get lc i)) then
+          failwith
+            (Printf.sprintf "sql-multiwindow parity: column %s row %d: plan %s <> legacy %s" name i
+               (Value.to_string (Column.get pc i))
+               (Value.to_string (Column.get lc i)))
+      done)
+    [ "r"; "pr"; "cd"; "rn" ]
+
+let run ~rows () =
+  H.section "sql-multiwindow: shared window pipeline vs per-clause execution";
+  let partitions = max 8 (rows / 4_000) in
+  let rng = Rng.create 42 in
+  let table = make_table rng ~rows ~partitions in
+  let cs = clauses () in
+  H.note "%d rows, %d partitions, 4 OVER clauses (shared PARTITION BY, prefix ORDER BYs)" rows
+    partitions;
+  (* correctness + sharing first: these must hold at any size *)
+  let plan_out, stats = Window_plan.run_with_stats table cs in
+  let legacy_counters = Build_cache.fresh_counters () in
+  let legacy_out = Legacy_window.run_clauses ~counters:legacy_counters table cs in
+  check_parity ~plan:plan_out ~legacy:legacy_out rows;
+  H.note "parity: plan matches per-clause baseline on all 4 columns";
+  let open Window_plan in
+  H.note "plan: %d partition pass(es), %d full + %d partial sort(s), %d clause(s) reusing a sort"
+    stats.partition_passes stats.full_sorts stats.partial_sorts stats.reused_sorts;
+  H.note "builds: plan %d encodes / %d trees vs legacy %d encodes / %d trees" stats.encode_builds
+    stats.tree_builds legacy_counters.Build_cache.encode_builds
+    legacy_counters.Build_cache.tree_builds;
+  if stats.partition_passes <> 1 || stats.full_sorts <> 1 then
+    failwith "sql-multiwindow: expected one shared partition pass and one full sort";
+  if
+    stats.encode_builds >= legacy_counters.Build_cache.encode_builds
+    || stats.tree_builds >= legacy_counters.Build_cache.tree_builds
+  then failwith "sql-multiwindow: shared plan did not reduce encode/tree builds";
+  (* now the wall clock, SQL front end against the preserved baseline *)
+  H.gc_settle ();
+  let plan_api_s = H.time (fun () -> Window_plan.run table cs) in
+  H.note "plan via API (no SQL front end): %.3f s" plan_api_s;
+  List.iteri
+    (fun i (c : Window_plan.clause) ->
+      let t = H.time (fun () -> Legacy_window.run table ~over:c.spec c.items) in
+      H.note "legacy clause %d alone: %.3f s" (i + 1) t)
+    cs;
+  H.gc_settle ();
+  let plan_s = H.time_best ~reps:3 (fun () -> Sql.query ~tables:[ ("t", table) ] query) in
+  H.gc_settle ();
+  let legacy_s = H.time_best ~reps:3 (fun () -> Legacy_window.run_clauses table cs) in
+  let speedup = legacy_s /. plan_s in
+  H.print_table ~header:[ "path"; "seconds"; "speedup" ]
+    ~rows:
+      [
+        [ "legacy (4 independent clauses)"; Printf.sprintf "%.3f" legacy_s; "1.00x" ];
+        [ "shared plan (SQL)"; Printf.sprintf "%.3f" plan_s; Printf.sprintf "%.2fx" speedup ];
+      ];
+  H.write_json_file "BENCH_sql_multiwindow.json"
+    (H.J_obj
+       [
+         ("experiment", H.J_string "sql_multiwindow");
+         ("rows", H.J_int rows);
+         ("partitions", H.J_int partitions);
+         ("clauses", H.J_int 4);
+         ("legacy_s", H.J_float legacy_s);
+         ("plan_s", H.J_float plan_s);
+         ("speedup", H.J_float speedup);
+         ( "plan_stats",
+           H.J_obj
+             [
+               ("stages", H.J_int stats.stages);
+               ("partition_passes", H.J_int stats.partition_passes);
+               ("full_sorts", H.J_int stats.full_sorts);
+               ("partial_sorts", H.J_int stats.partial_sorts);
+               ("reused_sorts", H.J_int stats.reused_sorts);
+               ("encode_builds", H.J_int stats.encode_builds);
+               ("tree_builds", H.J_int stats.tree_builds);
+             ] );
+         ( "legacy_builds",
+           H.J_obj
+             [
+               ("encode_builds", H.J_int legacy_counters.Build_cache.encode_builds);
+               ("tree_builds", H.J_int legacy_counters.Build_cache.tree_builds);
+             ] );
+       ])

@@ -396,6 +396,10 @@ let rec intro_by (a : int array) cmp lo hi depth =
 
 let sort_by a ~cmp = intro_by a cmp 0 (Array.length a) (depth_limit (Array.length a))
 
+let sort_by_range a ~cmp ~lo ~hi =
+  if lo < 0 || hi > Array.length a || lo > hi then invalid_arg "Introsort.sort_by_range";
+  intro_by a cmp lo hi (depth_limit (hi - lo))
+
 let sort_indices_by n ~cmp =
   let idx = Array.init n (fun i -> i) in
   let stable_cmp i j =

@@ -30,6 +30,11 @@ val sort_by : int array -> cmp:(int -> int -> int) -> unit
     by preprocessing passes whose keys are not plain integers. Not stable;
     callers needing stability must break ties in [cmp]. *)
 
+val sort_by_range : int array -> cmp:(int -> int -> int) -> lo:int -> hi:int -> unit
+(** {!sort_by} restricted to the half-open segment [\[lo, hi)]: the
+    partial-sort primitive for re-ordering an inherited permutation within
+    partition boundaries. *)
+
 val sort_indices_by : int -> cmp:(int -> int -> int) -> int array
 (** [sort_indices_by n ~cmp] is the permutation [\[|0..n-1|\]] sorted stably
     by [cmp] on indices (ties keep ascending index order). *)

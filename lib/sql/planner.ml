@@ -314,7 +314,12 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ~tables (q : Ast.query) =
       (fun (name, v) -> match v with `Window w -> Some (name, w) | `Expr _ -> None)
       items
   in
-  let groups = Hashtbl.create 4 in
+  (* Lower every call into one window plan. Clauses keep the first-appearance
+     order of their specs (and items within a clause), so evaluation order —
+     and hence error attribution — is deterministic, unlike the previous
+     [Hashtbl.fold] over spec groups. The plan shares partition passes, sorts
+     and per-partition index structures across clauses. *)
+  let clauses = ref [] in
   List.iter
     (fun (name, (w : Ast.window_call)) ->
       let spec = lower_window table q.Ast.windows w.Ast.over in
@@ -323,14 +328,16 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ~tables (q : Ast.query) =
           ?filter:(Option.map (lower_expr table) w.Ast.filter)
           ?algorithm ~name (lower_call table w)
       in
-      let prev = Option.value (Hashtbl.find_opt groups spec) ~default:[] in
-      Hashtbl.replace groups spec (item :: prev))
+      match List.find_opt (fun (s, _) -> s = spec) !clauses with
+      | Some (_, items) -> items := item :: !items
+      | None -> clauses := !clauses @ [ (spec, ref [ item ]) ])
     calls;
+  let clauses =
+    List.map (fun (spec, items) -> { Window_plan.spec; items = List.rev !items }) !clauses
+  in
   let with_windows =
-    Hashtbl.fold
-      (fun spec items acc ->
-        Executor.run ?pool ?fanout ?sample ?task_size acc ~over:spec (List.rev items))
-      groups table
+    if clauses = [] then table
+    else Window_plan.run ?pool ?fanout ?sample ?task_size table clauses
   in
   (* projection: base columns for window outputs, fresh columns for exprs *)
   let out_columns =

@@ -1,0 +1,155 @@
+open Holistic_storage
+module Mstw = Holistic_core.Mst_width
+module Annotated = Holistic_core.Annotated_mst
+module Rank_encode = Holistic_core.Rank_encode
+module Range_tree = Holistic_core.Range_tree
+module Seg = Holistic_baselines.Segment_tree
+
+(* ------------------------------------------------------------------ *)
+(* Monoids shared by the evaluators (owned here so the cache can store  *)
+(* the instantiated tree types without a dependency cycle).             *)
+(* ------------------------------------------------------------------ *)
+
+module Value_monoid_sum = struct
+  type t = Value.t
+
+  let identity = Value.Null
+  let combine a b = if Value.is_null a then b else if Value.is_null b then a else Value.add a b
+end
+
+module Value_monoid_min = struct
+  type t = Value.t
+
+  let identity = Value.Null
+
+  let combine a b =
+    if Value.is_null a then b
+    else if Value.is_null b then a
+    else if Value.compare_sql ~nulls_last:true a b <= 0 then a
+    else b
+end
+
+module Value_monoid_max = struct
+  type t = Value.t
+
+  let identity = Value.Null
+
+  let combine a b =
+    if Value.is_null a then b
+    else if Value.is_null b then a
+    else if Value.compare_sql ~nulls_last:true a b >= 0 then a
+    else b
+end
+
+module Vsum_seg = Seg.Make (Value_monoid_sum)
+module Vmin_seg = Seg.Make (Value_monoid_min)
+module Vmax_seg = Seg.Make (Value_monoid_max)
+
+module Sum_count_monoid = struct
+  type t = float * int
+
+  let identity = (0.0, 0)
+  let combine (a, b) (c, d) = (a +. c, b + d)
+end
+
+module Sum_count_mst = Annotated.Make (Sum_count_monoid)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type counters = { mutable encode_builds : int; mutable tree_builds : int }
+
+let fresh_counters () = { encode_builds = 0; tree_builds = 0 }
+
+type extra_filter = Ex_none | Ex_nonnull of Expr.t
+type qual = { filter : Expr.t option; extra : extra_filter }
+
+let unfiltered = { filter = None; extra = Ex_none }
+
+type codes_class = Rank_codes | Row_codes | Select_perm
+
+type seg_class = Seg_sum | Seg_min | Seg_max
+type seg_tree = Sum_tree of Vsum_seg.t | Min_tree of Vmin_seg.t | Max_tree of Vmax_seg.t
+
+(* All keys are pure ASTs ([Expr.t] / [Sort_spec.t]) compared structurally,
+   which is exactly the sharing rule: two items share a build iff their
+   effective ORDER BY (and argument/filter, where the structure depends on
+   them) are structurally equal. *)
+type t = {
+  counters : counters;
+  encodes : (Sort_spec.t, Rank_encode.t) Hashtbl.t;
+  remaps : (qual, Remap.t) Hashtbl.t;
+  peers : (Sort_spec.t, int array * int array) Hashtbl.t;
+  count_trees : (codes_class * Sort_spec.t * qual * int, Mstw.t) Hashtbl.t;
+  range_trees : (Sort_spec.t * qual * int, Range_tree.t) Hashtbl.t;
+  arg_ids : (Expr.t * qual, int array) Hashtbl.t;
+  prev_arrays : (Expr.t * qual, int array) Hashtbl.t;
+  distinct_trees : (Expr.t * qual * int, Mstw.t) Hashtbl.t;
+  annotated_trees : (Expr.t * qual * int, Sum_count_mst.t) Hashtbl.t;
+  seg_trees : (seg_class * Expr.t * qual, seg_tree) Hashtbl.t;
+}
+
+let create ?counters () =
+  let counters = match counters with Some c -> c | None -> fresh_counters () in
+  {
+    counters;
+    encodes = Hashtbl.create 4;
+    remaps = Hashtbl.create 4;
+    peers = Hashtbl.create 4;
+    count_trees = Hashtbl.create 4;
+    range_trees = Hashtbl.create 4;
+    arg_ids = Hashtbl.create 4;
+    prev_arrays = Hashtbl.create 4;
+    distinct_trees = Hashtbl.create 4;
+    annotated_trees = Hashtbl.create 4;
+    seg_trees = Hashtbl.create 4;
+  }
+
+let counters t = t.counters
+
+let memo tbl key build =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = build () in
+      Hashtbl.add tbl key v;
+      v
+
+let memo_tree tbl counters key build =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = build () in
+      counters.tree_builds <- counters.tree_builds + 1;
+      Hashtbl.add tbl key v;
+      v
+
+let encode t ~order build =
+  match Hashtbl.find_opt t.encodes order with
+  | Some e -> e
+  | None ->
+      let e = build () in
+      t.counters.encode_builds <- t.counters.encode_builds + 1;
+      Hashtbl.add t.encodes order e;
+      e
+
+let remap t ~qual build = memo t.remaps qual build
+let peers t ~order build = memo t.peers order build
+
+let count_tree t ~cls ~order ~qual ~sample build =
+  memo_tree t.count_trees t.counters (cls, order, qual, sample) build
+
+let range_tree t ~order ~qual ~sample build =
+  memo_tree t.range_trees t.counters (order, qual, sample) build
+
+let arg_ids t ~arg ~qual build = memo t.arg_ids (arg, qual) build
+let prev_array t ~arg ~qual build = memo t.prev_arrays (arg, qual) build
+
+let distinct_tree t ~arg ~qual ~sample build =
+  memo_tree t.distinct_trees t.counters (arg, qual, sample) build
+
+let annotated_tree t ~arg ~qual ~sample build =
+  memo_tree t.annotated_trees t.counters (arg, qual, sample) build
+
+let seg_tree t ~cls ~arg ~qual build = memo_tree t.seg_trees t.counters (cls, arg, qual) build

@@ -1,0 +1,119 @@
+(** Per-partition cache of preprocessing structures, shared by every window
+    item and frame evaluated over one sorted partition.
+
+    The paper's query phase builds each index structure once and probes it
+    many times; this cache extends that guarantee across items: within a
+    partition, a rank encoding, merge sort tree, annotated tree, range tree
+    or segment tree is keyed on the inputs that determine its contents — the
+    effective ORDER BY, the qualifying-row filter and (where the structure
+    holds argument values) the argument expression — so e.g.
+    [rank + percent_rank + cume_dist] over one named window perform one
+    encode and one tree build. Keys are pure ASTs compared structurally.
+
+    A cache is valid for exactly one [(table, rows)] pair: the window plan
+    creates a fresh one per (stage, partition). *)
+
+open Holistic_storage
+module Mstw = Holistic_core.Mst_width
+module Rank_encode = Holistic_core.Rank_encode
+module Range_tree = Holistic_core.Range_tree
+module Seg = Holistic_baselines.Segment_tree
+
+(** Monoids and tree functor instances shared by the evaluators (owned here
+    so cached trees have a home module without a dependency cycle). *)
+
+module Value_monoid_sum : sig
+  type t = Value.t
+
+  val identity : t
+  val combine : t -> t -> t
+end
+
+module Value_monoid_min : sig
+  type t = Value.t
+
+  val identity : t
+  val combine : t -> t -> t
+end
+
+module Value_monoid_max : sig
+  type t = Value.t
+
+  val identity : t
+  val combine : t -> t -> t
+end
+
+module Vsum_seg : module type of Seg.Make (Value_monoid_sum)
+module Vmin_seg : module type of Seg.Make (Value_monoid_min)
+module Vmax_seg : module type of Seg.Make (Value_monoid_max)
+
+module Sum_count_monoid : sig
+  type t = float * int
+
+  val identity : t
+  val combine : t -> t -> t
+end
+
+module Sum_count_mst : module type of Holistic_core.Annotated_mst.Make (Sum_count_monoid)
+
+type counters = { mutable encode_builds : int; mutable tree_builds : int }
+(** Running build totals, shared across caches (one [counters] record per
+    plan run): [encode_builds] counts {!Rank_encode} constructions,
+    [tree_builds] counts index-structure constructions (MSTs, annotated
+    MSTs, range trees, segment trees). *)
+
+val fresh_counters : unit -> counters
+
+type extra_filter = Ex_none | Ex_nonnull of Expr.t
+(** The implicit NULL-skipping component of a qualifying-row predicate:
+    [Ex_nonnull e] keeps rows where [e] is non-NULL (IGNORE NULLS, NULL
+    skipping aggregates, percentile order keys). *)
+
+type qual = { filter : Expr.t option; extra : extra_filter }
+(** Structural key for a qualifying-row predicate: the FILTER clause
+    expression plus the implicit NULL-skipping filter. *)
+
+val unfiltered : qual
+
+type codes_class = Rank_codes | Row_codes | Select_perm
+(** What a cached counting/selection MST was built over: filtered rank
+    codes, filtered row codes, or the sorted permutation of filtered
+    positions (§4.5 Fig. 6). *)
+
+type seg_class = Seg_sum | Seg_min | Seg_max
+type seg_tree = Sum_tree of Vsum_seg.t | Min_tree of Vmin_seg.t | Max_tree of Vmax_seg.t
+
+type t
+
+val create : ?counters:counters -> unit -> t
+(** A fresh, empty cache. [counters] defaults to a private record; pass a
+    shared one to accumulate build totals across partitions. *)
+
+val counters : t -> counters
+
+(** Each accessor returns the cached structure for its key, calling the
+    build thunk (and counting the build) only on the first request. *)
+
+val encode : t -> order:Sort_spec.t -> (unit -> Rank_encode.t) -> Rank_encode.t
+val remap : t -> qual:qual -> (unit -> Remap.t) -> Remap.t
+
+val peers :
+  t -> order:Sort_spec.t -> (unit -> int array * int array) -> int array * int array
+
+val count_tree :
+  t -> cls:codes_class -> order:Sort_spec.t -> qual:qual -> sample:int -> (unit -> Mstw.t) -> Mstw.t
+
+val range_tree :
+  t -> order:Sort_spec.t -> qual:qual -> sample:int -> (unit -> Range_tree.t) -> Range_tree.t
+
+val arg_ids : t -> arg:Expr.t -> qual:qual -> (unit -> int array) -> int array
+val prev_array : t -> arg:Expr.t -> qual:qual -> (unit -> int array) -> int array
+
+val distinct_tree :
+  t -> arg:Expr.t -> qual:qual -> sample:int -> (unit -> Mstw.t) -> Mstw.t
+
+val annotated_tree :
+  t -> arg:Expr.t -> qual:qual -> sample:int -> (unit -> Sum_count_mst.t) -> Sum_count_mst.t
+
+val seg_tree :
+  t -> cls:seg_class -> arg:Expr.t -> qual:qual -> (unit -> seg_tree) -> seg_tree

@@ -2,15 +2,23 @@ open Holistic_storage
 module Task_pool = Holistic_parallel.Task_pool
 module Introsort = Holistic_sort.Introsort
 module Mstw = Holistic_core.Mst_width
-module Annotated = Holistic_core.Annotated_mst
 module Prev = Holistic_core.Prev_occurrence
 module Rank_encode = Holistic_core.Rank_encode
 module Range_tree = Holistic_core.Range_tree
 module Ost = Holistic_baselines.Order_statistic_tree
 module Inc = Holistic_baselines.Incremental
 module Naive = Holistic_baselines.Naive
-module Seg = Holistic_baselines.Segment_tree
 open Window_func
+
+(* Monoids and tree instances live in Build_cache (so cached trees have a
+   home module); aliased here for the evaluator bodies. *)
+module Value_monoid_sum = Build_cache.Value_monoid_sum
+module Value_monoid_min = Build_cache.Value_monoid_min
+module Value_monoid_max = Build_cache.Value_monoid_max
+module Vsum_seg = Build_cache.Vsum_seg
+module Vmin_seg = Build_cache.Vmin_seg
+module Vmax_seg = Build_cache.Vmax_seg
+module Sum_count_mst = Build_cache.Sum_count_mst
 
 type ctx = {
   table : Table.t;
@@ -22,6 +30,7 @@ type ctx = {
   sample : int;
   task_size : int;
   width : Mstw.choice;
+  cache : Build_cache.t;
 }
 
 let np ctx = Array.length ctx.rows
@@ -33,31 +42,48 @@ let unsupported what =
 (* Shared preprocessing helpers                                        *)
 (* ------------------------------------------------------------------ *)
 
-let qualify ctx ~filter ~extra =
-  match filter, extra with
-  | None, None -> Remap.all (np ctx)
+(* Qualifying-row remap for a structural predicate key; memoized per
+   partition so items with equal FILTER / NULL-skipping predicates scan the
+   partition once. *)
+let qualify ctx (qual : Build_cache.qual) =
+  match qual with
+  | { Build_cache.filter = None; extra = Build_cache.Ex_none } -> Remap.all (np ctx)
   | _ ->
-      let filt = Option.map (Expr.compile ctx.table) filter in
-      Remap.create ~np:(np ctx) ~qualifies:(fun r ->
-          (match filt with None -> true | Some f -> Expr.to_bool (f ctx.rows.(r)))
-          && match extra with None -> true | Some g -> g r)
+      Build_cache.remap ctx.cache ~qual (fun () ->
+          let filt = Option.map (Expr.compile ctx.table) qual.Build_cache.filter in
+          let extra =
+            match qual.Build_cache.extra with
+            | Build_cache.Ex_none -> None
+            | Build_cache.Ex_nonnull (Expr.Col name) ->
+                let c = Table.column ctx.table name in
+                Some (fun r -> not (Column.is_null c ctx.rows.(r)))
+            | Build_cache.Ex_nonnull e ->
+                let f = Expr.compile ctx.table e in
+                Some (fun r -> not (Value.is_null (f ctx.rows.(r))))
+          in
+          Remap.create ~np:(np ctx) ~qualifies:(fun r ->
+              (match filt with None -> true | Some f -> Expr.to_bool (f ctx.rows.(r)))
+              && match extra with None -> true | Some g -> g r))
 
 let effective_order ctx spec = if spec = [] then ctx.window_order else spec
 
 (* Integer preprocessing of an ORDER BY over the partition (§5.1 Fig. 8),
-   with unboxed fast paths for single plain-column keys. *)
+   with unboxed fast paths for single plain-column keys. Memoized on the
+   effective ORDER BY: rank + percent_rank + median over one named window
+   encode once. *)
 let encode ctx order =
-  let n = np ctx in
-  match Sort_spec.fast_key ctx.table order with
-  | Some (Sort_spec.Int_key (keys, false)) ->
-      Rank_encode.of_ints ~pool:ctx.pool (Array.map (fun row -> keys.(row)) ctx.rows)
-  | Some (Sort_spec.Int_key (keys, true)) ->
-      Rank_encode.of_cmp n ~cmp:(fun i j -> compare keys.(ctx.rows.(j)) keys.(ctx.rows.(i)))
-  | Some (Sort_spec.Float_key (keys, desc)) ->
-      Rank_encode.of_floats ~desc (Array.map (fun row -> keys.(row)) ctx.rows)
-  | None ->
-      let cmp_rows = Sort_spec.comparator ctx.table order in
-      Rank_encode.of_cmp n ~cmp:(fun i j -> cmp_rows ctx.rows.(i) ctx.rows.(j))
+  Build_cache.encode ctx.cache ~order (fun () ->
+      let n = np ctx in
+      match Sort_spec.fast_key ctx.table order with
+      | Some (Sort_spec.Int_key (keys, false)) ->
+          Rank_encode.of_ints ~pool:ctx.pool (Array.map (fun row -> keys.(row)) ctx.rows)
+      | Some (Sort_spec.Int_key (keys, true)) ->
+          Rank_encode.of_cmp n ~cmp:(fun i j -> compare keys.(ctx.rows.(j)) keys.(ctx.rows.(i)))
+      | Some (Sort_spec.Float_key (keys, desc)) ->
+          Rank_encode.of_floats ~desc (Array.map (fun row -> keys.(row)) ctx.rows)
+      | None ->
+          let cmp_rows = Sort_spec.comparator ctx.table order in
+          Rank_encode.of_cmp n ~cmp:(fun i j -> cmp_rows ctx.rows.(i) ctx.rows.(j)))
 
 let mapped_ranges ctx rm r = Remap.map_ranges rm (Frame.ranges ctx.frame r)
 let covered_of ranges = Array.fold_left (fun acc (lo, hi) -> acc + hi - lo) 0 ranges
@@ -85,9 +111,9 @@ let incremental_drive ctx rm ~serial ~make_state =
   else Task_pool.parallel_for ctx.pool ~lo:0 ~hi:(np ctx) ~chunk:ctx.task_size run
 
 (* Access to an argument expression's values, with unboxed column fast
-   paths. Positions are partition positions. *)
+   paths. Positions are partition positions. (NULL tests live in [qualify]'s
+   structural predicates now, so there is no null accessor here.) *)
 type arg_access = {
-  null_at : int -> bool;
   value_at : int -> Value.t;
   float_at : int -> float;
   ids_filtered : Remap.t -> int array; (* dense equality ids over filtered rows *)
@@ -110,7 +136,6 @@ let arg_access ctx e =
     let f = Expr.compile ctx.table e in
     let cache = Array.map f ctx.rows in
     {
-      null_at = (fun r -> Value.is_null cache.(r));
       value_at = (fun r -> cache.(r));
       float_at =
         (fun r ->
@@ -125,12 +150,10 @@ let arg_access ctx e =
   match e with
   | Expr.Col name -> begin
       let c = Table.column ctx.table name in
-      let null_at r = Column.is_null c ctx.rows.(r) in
       let value_at r = Column.get c ctx.rows.(r) in
       match Column.data c with
       | Column.Ints a | Column.Dates a ->
           {
-            null_at;
             value_at;
             float_at = (fun r -> float_of_int a.(ctx.rows.(r)));
             ids_filtered =
@@ -140,7 +163,6 @@ let arg_access ctx e =
           }
       | Column.Floats a ->
           {
-            null_at;
             value_at;
             float_at = (fun r -> a.(ctx.rows.(r)));
             ids_filtered =
@@ -158,7 +180,6 @@ let arg_access ctx e =
           }
       | Column.Strings _ | Column.Bools _ ->
           {
-            null_at;
             value_at;
             float_at = (fun _ -> nan);
             ids_filtered = (fun rm -> generic_ids value_at rm);
@@ -210,47 +231,12 @@ let span_of ranges = (fst ranges.(0), snd ranges.(Array.length ranges - 1))
 (* Plain (non-distinct) framed aggregates — segment trees (Leis et al.) *)
 (* ------------------------------------------------------------------ *)
 
-module Value_monoid_sum = struct
-  type t = Value.t
-
-  let identity = Value.Null
-  let combine a b = if Value.is_null a then b else if Value.is_null b then a else Value.add a b
-end
-
-module Value_monoid_min = struct
-  type t = Value.t
-
-  let identity = Value.Null
-
-  let combine a b =
-    if Value.is_null a then b
-    else if Value.is_null b then a
-    else if Value.compare_sql ~nulls_last:true a b <= 0 then a
-    else b
-end
-
-module Value_monoid_max = struct
-  type t = Value.t
-
-  let identity = Value.Null
-
-  let combine a b =
-    if Value.is_null a then b
-    else if Value.is_null b then a
-    else if Value.compare_sql ~nulls_last:true a b >= 0 then a
-    else b
-end
-
-module Vsum_seg = Seg.Make (Value_monoid_sum)
-module Vmin_seg = Seg.Make (Value_monoid_min)
-module Vmax_seg = Seg.Make (Value_monoid_max)
-
 let to_float_v = function
   | Value.Int x -> float_of_int x
   | Value.Float x -> x
   | v -> invalid_arg ("Window: AVG of non-numeric value " ^ Value.to_string v)
 
-let eval_plain_agg ctx ~kind ~acc ~rm ~algorithm ~out =
+let eval_plain_agg ctx ~kind ~arg ~acc ~qual ~rm ~algorithm ~out =
   let m = Remap.filtered_count rm in
   let value_f i = acc.value_at (Remap.position rm i) in
   let emit r v = out.(ctx.rows.(r)) <- v in
@@ -258,7 +244,14 @@ let eval_plain_agg ctx ~kind ~acc ~rm ~algorithm ~out =
   | Auto | Mst | Mst_no_cascade | Segment_tree -> begin
       match kind with
       | Sum | Avg ->
-          let tree = Vsum_seg.create m value_f in
+          let tree =
+            match
+              Build_cache.seg_tree ctx.cache ~cls:Build_cache.Seg_sum ~arg ~qual (fun () ->
+                  Build_cache.Sum_tree (Vsum_seg.create m value_f))
+            with
+            | Build_cache.Sum_tree t -> t
+            | _ -> assert false
+          in
           probe ctx (fun r ->
               let ranges = mapped_ranges ctx rm r in
               let s =
@@ -272,7 +265,14 @@ let eval_plain_agg ctx ~kind ~acc ~rm ~algorithm ~out =
                 emit r (if cnt = 0 then Value.Null else Value.Float (to_float_v s /. float_of_int cnt))
               end)
       | Min ->
-          let tree = Vmin_seg.create m value_f in
+          let tree =
+            match
+              Build_cache.seg_tree ctx.cache ~cls:Build_cache.Seg_min ~arg ~qual (fun () ->
+                  Build_cache.Min_tree (Vmin_seg.create m value_f))
+            with
+            | Build_cache.Min_tree t -> t
+            | _ -> assert false
+          in
           probe ctx (fun r ->
               let ranges = mapped_ranges ctx rm r in
               emit r
@@ -280,7 +280,14 @@ let eval_plain_agg ctx ~kind ~acc ~rm ~algorithm ~out =
                    (fun a (lo, hi) -> Value_monoid_min.combine a (Vmin_seg.query tree ~lo ~hi))
                    Value.Null ranges))
       | Max ->
-          let tree = Vmax_seg.create m value_f in
+          let tree =
+            match
+              Build_cache.seg_tree ctx.cache ~cls:Build_cache.Seg_max ~arg ~qual (fun () ->
+                  Build_cache.Max_tree (Vmax_seg.create m value_f))
+            with
+            | Build_cache.Max_tree t -> t
+            | _ -> assert false
+          in
           probe ctx (fun r ->
               let ranges = mapped_ranges ctx rm r in
               emit r
@@ -318,24 +325,22 @@ let eval_plain_agg ctx ~kind ~acc ~rm ~algorithm ~out =
 (* DISTINCT aggregates                                                 *)
 (* ------------------------------------------------------------------ *)
 
-module Sum_count_monoid = struct
-  type t = float * int
-
-  let identity = (0.0, 0)
-  let combine (a, b) (c, d) = (a +. c, b + d)
-end
-
-module Sum_count_mst = Annotated.Make (Sum_count_monoid)
-
-let eval_distinct_count ctx ~acc ~filter ~algorithm ~out =
-  let rm = qualify ctx ~filter ~extra:(Some (fun r -> not (acc.null_at r))) in
-  let ids = acc.ids_filtered rm in
+let eval_distinct_count ctx ~arg ~filter ~algorithm ~out =
+  let acc = arg_access ctx arg in
+  let qual = { Build_cache.filter; extra = Build_cache.Ex_nonnull arg } in
+  let rm = qualify ctx qual in
+  let ids = Build_cache.arg_ids ctx.cache ~arg ~qual (fun () -> acc.ids_filtered rm) in
   let emit r v = out.(ctx.rows.(r)) <- Value.Int v in
   match algorithm with
   | Auto | Mst | Mst_no_cascade ->
       let sample = if algorithm = Mst_no_cascade then 0 else ctx.sample in
-      let prev = Prev.compute ~pool:ctx.pool ids in
-      let tree = Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width prev in
+      let prev =
+        Build_cache.prev_array ctx.cache ~arg ~qual (fun () -> Prev.compute ~pool:ctx.pool ids)
+      in
+      let tree =
+        Build_cache.distinct_tree ctx.cache ~arg ~qual ~sample (fun () ->
+            Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width prev)
+      in
       let next =
         if Frame.exclusion ctx.frame = Window_spec.Exclude_no_others then [||] else next_of prev
       in
@@ -368,9 +373,11 @@ let eval_distinct_count ctx ~acc ~filter ~algorithm ~out =
             fun () -> Inc.Distinct_count.clear dc ))
   | Order_statistic | Segment_tree -> unsupported "distinct count"
 
-let eval_distinct_sum_avg ctx ~kind ~acc ~filter ~algorithm ~out =
-  let rm = qualify ctx ~filter ~extra:(Some (fun r -> not (acc.null_at r))) in
-  let ids = acc.ids_filtered rm in
+let eval_distinct_sum_avg ctx ~kind ~arg ~filter ~algorithm ~out =
+  let acc = arg_access ctx arg in
+  let qual = { Build_cache.filter; extra = Build_cache.Ex_nonnull arg } in
+  let rm = qualify ctx qual in
+  let ids = Build_cache.arg_ids ctx.cache ~arg ~qual (fun () -> acc.ids_filtered rm) in
   let m = Remap.filtered_count rm in
   let fvals = Array.init m (fun i -> acc.float_at (Remap.position rm i)) in
   let emit r (s, c) =
@@ -382,11 +389,14 @@ let eval_distinct_sum_avg ctx ~kind ~acc ~filter ~algorithm ~out =
   match algorithm with
   | Auto | Mst | Mst_no_cascade ->
       let sample = if algorithm = Mst_no_cascade then 0 else ctx.sample in
-      let prev = Prev.compute ~pool:ctx.pool ids in
+      let prev =
+        Build_cache.prev_array ctx.cache ~arg ~qual (fun () -> Prev.compute ~pool:ctx.pool ids)
+      in
       let tree =
-        Sum_count_mst.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~keys:prev
-          ~value:(fun i -> (fvals.(i), 1))
-          ()
+        Build_cache.annotated_tree ctx.cache ~arg ~qual ~sample (fun () ->
+            Sum_count_mst.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~keys:prev
+              ~value:(fun i -> (fvals.(i), 1))
+              ())
       in
       let next =
         if Frame.exclusion ctx.frame = Window_spec.Exclude_no_others then [||] else next_of prev
@@ -427,21 +437,20 @@ let eval_distinct_sum_avg ctx ~kind ~acc ~filter ~algorithm ~out =
 let eval_aggregate ctx ~kind ~arg ~distinct ~filter ~algorithm ~out =
   match kind, arg with
   | Count_star, _ ->
-      let rm = qualify ctx ~filter ~extra:None in
+      let rm = qualify ctx { Build_cache.filter; extra = Build_cache.Ex_none } in
       probe ctx (fun r -> out.(ctx.rows.(r)) <- Value.Int (covered_of (mapped_ranges ctx rm r)))
   | Count, Some e when not distinct ->
-      let acc = arg_access ctx e in
-      let rm = qualify ctx ~filter ~extra:(Some (fun r -> not (acc.null_at r))) in
+      let rm = qualify ctx { Build_cache.filter; extra = Build_cache.Ex_nonnull e } in
       probe ctx (fun r -> out.(ctx.rows.(r)) <- Value.Int (covered_of (mapped_ranges ctx rm r)))
-  | Count, Some e ->
-      eval_distinct_count ctx ~acc:(arg_access ctx e) ~filter ~algorithm ~out
+  | Count, Some e -> eval_distinct_count ctx ~arg:e ~filter ~algorithm ~out
   | (Sum | Avg), Some e when distinct ->
-      eval_distinct_sum_avg ctx ~kind ~acc:(arg_access ctx e) ~filter ~algorithm ~out
+      eval_distinct_sum_avg ctx ~kind ~arg:e ~filter ~algorithm ~out
   | (Sum | Avg | Min | Max), Some e ->
       (* MIN/MAX DISTINCT ≡ MIN/MAX *)
       let acc = arg_access ctx e in
-      let rm = qualify ctx ~filter ~extra:(Some (fun r -> not (acc.null_at r))) in
-      eval_plain_agg ctx ~kind ~acc ~rm ~algorithm ~out
+      let qual = { Build_cache.filter; extra = Build_cache.Ex_nonnull e } in
+      let rm = qualify ctx qual in
+      eval_plain_agg ctx ~kind ~arg:e ~acc ~qual ~rm ~algorithm ~out
   | _ -> unsupported "aggregate without argument"
 
 (* ------------------------------------------------------------------ *)
@@ -450,8 +459,9 @@ let eval_aggregate ctx ~kind ~arg ~distinct ~filter ~algorithm ~out =
 
 let eval_mode ctx ~arg ~filter ~algorithm ~out =
   let acc = arg_access ctx arg in
-  let rm = qualify ctx ~filter ~extra:(Some (fun r -> not (acc.null_at r))) in
-  let ids = acc.ids_filtered rm in
+  let qual = { Build_cache.filter; extra = Build_cache.Ex_nonnull arg } in
+  let rm = qualify ctx qual in
+  let ids = Build_cache.arg_ids ctx.cache ~arg ~qual (fun () -> acc.ids_filtered rm) in
   let m = Remap.filtered_count rm in
   (* a representative row per id, giving ids their value for tie-breaking *)
   let repr = Hashtbl.create (2 * m) in
@@ -522,7 +532,8 @@ let ntile_bucket ~buckets ~s ~rn0 =
 let eval_rank_family ctx ~variant ~order ~filter ~algorithm ~out =
   let order = effective_order ctx order in
   let enc = encode ctx order in
-  let rm = qualify ctx ~filter ~extra:None in
+  let qual = { Build_cache.filter; extra = Build_cache.Ex_none } in
+  let rm = qualify ctx qual in
   let m = Remap.filtered_count rm in
   let frank = Array.init m (fun i -> enc.Rank_encode.rank_codes.(Remap.position rm i)) in
   let frow = Array.init m (fun i -> enc.Rank_encode.row_codes.(Remap.position rm i)) in
@@ -543,7 +554,10 @@ let eval_rank_family ctx ~variant ~order ~filter ~algorithm ~out =
   match variant, algorithm with
   | Dense_v, (Auto | Mst | Mst_no_cascade) ->
       let sample = if algorithm = Mst_no_cascade then 0 else ctx.sample in
-      let rt = Range_tree.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample frank in
+      let rt =
+        Build_cache.range_tree ctx.cache ~order ~qual ~sample (fun () ->
+            Range_tree.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample frank)
+      in
       probe ctx (fun r ->
           let ranges = mapped_ranges ctx rm r in
           let key = enc.Rank_encode.rank_codes.(r) in
@@ -566,8 +580,20 @@ let eval_rank_family ctx ~variant ~order ~filter ~algorithm ~out =
   | _, (Auto | Mst | Mst_no_cascade) ->
       let sample = if algorithm = Mst_no_cascade then 0 else ctx.sample in
       let make a = Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width a in
-      let tree_rank = if needs_rank then Some (make frank) else None in
-      let tree_row = if needs_row then Some (make frow) else None in
+      let tree_rank =
+        if needs_rank then
+          Some
+            (Build_cache.count_tree ctx.cache ~cls:Build_cache.Rank_codes ~order ~qual ~sample
+               (fun () -> make frank))
+        else None
+      in
+      let tree_row =
+        if needs_row then
+          Some
+            (Build_cache.count_tree ctx.cache ~cls:Build_cache.Row_codes ~order ~qual ~sample
+               (fun () -> make frow))
+        else None
+      in
       probe ctx (fun r ->
           let ranges = mapped_ranges ctx rm r in
           let s = covered_of ranges in
@@ -643,15 +669,14 @@ let eval_select_family ctx ~kind ~arg ~order ~ignore_nulls ~filter ~algorithm ~o
     if is_percentile then begin
       (* percentiles ignore NULLs of the aggregated (= ordering) value *)
       match order with
-      | [] -> None
-      | key :: _ ->
-          let f = Expr.compile ctx.table key.Sort_spec.expr in
-          Some (fun r -> not (Value.is_null (f ctx.rows.(r))))
+      | [] -> Build_cache.Ex_none
+      | key :: _ -> Build_cache.Ex_nonnull key.Sort_spec.expr
     end
-    else if ignore_nulls then Some (fun r -> not (acc.null_at r))
-    else None
+    else if ignore_nulls then Build_cache.Ex_nonnull arg
+    else Build_cache.Ex_none
   in
-  let rm = qualify ctx ~filter ~extra in
+  let qual = { Build_cache.filter; extra } in
+  let rm = qualify ctx qual in
   let m = Remap.filtered_count rm in
   let fro = Array.init m (fun i -> enc.Rank_encode.row_codes.(Remap.position rm i)) in
   let needs_rn = match kind with Sel_lead _ | Sel_lag _ -> true | _ -> false in
@@ -704,13 +729,23 @@ let eval_select_family ctx ~kind ~arg ~order ~ignore_nulls ~filter ~algorithm ~o
   match algorithm with
   | Auto | Mst | Mst_no_cascade ->
       let sample = if algorithm = Mst_no_cascade then 0 else ctx.sample in
-      (* permutation of filtered positions in function order = §4.5 Fig. 6 *)
-      let keys = Array.copy fro in
-      let permf = Array.init m (fun i -> i) in
-      Introsort.sort_pairs ~key:keys ~payload:permf;
       let make a = Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width a in
-      let sel_tree = make permf in
-      let cnt_tree = if needs_rn then Some (make fro) else None in
+      (* permutation of filtered positions in function order = §4.5 Fig. 6 *)
+      let sel_tree =
+        Build_cache.count_tree ctx.cache ~cls:Build_cache.Select_perm ~order ~qual ~sample
+          (fun () ->
+            let keys = Array.copy fro in
+            let permf = Array.init m (fun i -> i) in
+            Introsort.sort_pairs ~key:keys ~payload:permf;
+            make permf)
+      in
+      let cnt_tree =
+        if needs_rn then
+          Some
+            (Build_cache.count_tree ctx.cache ~cls:Build_cache.Row_codes ~order ~qual ~sample
+               (fun () -> make fro))
+        else None
+      in
       probe ctx (fun r ->
           let ranges = mapped_ranges ctx rm r in
           let s = covered_of ranges in

@@ -18,6 +18,9 @@ type ctx = {
   task_size : int;
   width : Holistic_core.Mst_width.choice;
       (** storage width for merge sort trees ({!Holistic_core.Mst_width}) *)
+  cache : Build_cache.t;
+      (** per-partition structure cache shared by every item evaluated over
+          [rows] — encodings and trees are built once per structural key *)
 }
 
 val eval_item : ctx -> Window_func.t -> out:Value.t array -> unit

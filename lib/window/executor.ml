@@ -1,139 +1,9 @@
-open Holistic_storage
-module Task_pool = Holistic_parallel.Task_pool
-module Introsort = Holistic_sort.Introsort
-module Parallel_sort = Holistic_sort.Parallel_sort
+(* The single-spec window operator is now a one-clause window plan; the
+   partitioning/sorting machinery lives in Window_plan so multi-clause
+   queries can share it across specs. *)
 
-(* Integer partition keys from the PARTITION BY expressions: two rows get
-   equal keys iff every expression agrees. Per-column keys are computed
-   column-at-a-time (no per-row list allocation, and the expression phase
-   parallelises over the pool); multi-column keys are packed after
-   densifying each side, so the combine is pure integer arithmetic. The
-   stdlib [Hashtbl] compares with polymorphic equality, which preserves the
-   SQL-ish grouping of the old row-key path (NULLs group together, [nan]
-   equals [nan]). *)
-let densify_ints a =
-  let tbl = Hashtbl.create 256 in
-  Array.map
-    (fun v ->
-      match Hashtbl.find_opt tbl v with
-      | Some id -> id
-      | None ->
-          let id = Hashtbl.length tbl in
-          Hashtbl.add tbl v id;
-          id)
-    a
+let order_permutation = Window_plan.order_permutation
 
-let partition_ids pool table exprs =
-  let n = Table.nrows table in
-  match exprs with
-  | [] -> None
-  | _ ->
-      let key_of_expr e =
-        match e with
-        | Expr.Col name ->
-            (* exact per-column equality keys; raw values for int-like
-               columns, so no hash table at all on this path *)
-            Column.distinct_ids (Table.column table name)
-        | _ ->
-            let f = Expr.compile table e in
-            let vals = Array.make n Value.Null in
-            Task_pool.parallel_for pool ~lo:0 ~hi:n ~chunk:Task_pool.default_task_size
-              (fun lo hi ->
-                for i = lo to hi - 1 do
-                  Array.unsafe_set vals i (f i)
-                done);
-            let tbl = Hashtbl.create 256 in
-            Array.map
-              (fun v ->
-                match Hashtbl.find_opt tbl v with
-                | Some id -> id
-                | None ->
-                    let id = Hashtbl.length tbl in
-                    Hashtbl.add tbl v id;
-                    id)
-              vals
-      in
-      let ids =
-        match List.map key_of_expr exprs with
-        | [] -> assert false
-        | [ k ] -> k
-        | k :: rest ->
-            (* pack pairwise: densified ids are < n, so [a * n + b] is
-               collision-free and stays well inside 63-bit range *)
-            List.fold_left
-              (fun acc k ->
-                let a = densify_ints acc and b = densify_ints k in
-                Array.init n (fun i -> (a.(i) * n) + b.(i)))
-              k rest
-      in
-      Some ids
-
-let order_permutation ?pool table ~over =
-  let pool = match pool with Some p -> p | None -> Task_pool.default () in
-  let n = Table.nrows table in
-  let pids = partition_ids pool table over.Window_spec.partition_by in
-  let perm =
-    match pids, Sort_spec.single_int_key table over.Window_spec.order_by with
-    | None, Some keys ->
-        (* fast path: single global partition, single plain int key *)
-        let key = Array.copy keys in
-        let perm = Array.init n (fun i -> i) in
-        Parallel_sort.sort_pairs pool ~key ~payload:perm;
-        perm
-    | _ ->
-        let ord_cmp =
-          if over.Window_spec.order_by = [] then fun _ _ -> 0
-          else Sort_spec.comparator table over.Window_spec.order_by
-        in
-        let cmp =
-          match pids with
-          | None -> ord_cmp
-          | Some ids ->
-              fun i j ->
-                let c = compare ids.(i) ids.(j) in
-                if c <> 0 then c else ord_cmp i j
-        in
-        Introsort.sort_indices_by n ~cmp
-  in
-  let boundaries =
-    match pids with
-    | None -> [| 0; n |]
-    | Some ids ->
-        let acc = ref [ 0 ] in
-        for k = 1 to n - 1 do
-          if ids.(perm.(k)) <> ids.(perm.(k - 1)) then acc := k :: !acc
-        done;
-        Array.of_list (List.rev (n :: !acc))
-  in
-  (perm, boundaries)
-
-let run ?pool ?(fanout = 32) ?(sample = 32) ?(task_size = Task_pool.default_task_size)
-    ?(width = Holistic_core.Mst_width.Auto) table ~over items =
-  let pool = match pool with Some p -> p | None -> Task_pool.default () in
-  let n = Table.nrows table in
-  let perm, boundaries = order_permutation ~pool table ~over in
-  let outputs = List.map (fun (item : Window_func.t) -> (item, Array.make n Value.Null)) items in
-  for p = 0 to Array.length boundaries - 2 do
-    let plo = boundaries.(p) and phi = boundaries.(p + 1) in
-    if phi > plo then begin
-      let rows = Array.sub perm plo (phi - plo) in
-      let frame = Frame.compute table ~spec:over ~rows in
-      let ctx =
-        {
-          Evaluators.table;
-          pool;
-          rows;
-          frame;
-          window_order = over.Window_spec.order_by;
-          fanout;
-          sample;
-          task_size;
-          width;
-        }
-      in
-      List.iter (fun (item, out) -> Evaluators.eval_item ctx item ~out) outputs
-    end
-  done;
-  List.fold_left
-    (fun acc ((item : Window_func.t), out) -> Table.add_column acc item.name (Column.of_values out))
-    table outputs
+let run ?pool ?fanout ?sample ?task_size ?width table ~over items =
+  Window_plan.run ?pool ?fanout ?sample ?task_size ?width table
+    [ { Window_plan.spec = over; items } ]

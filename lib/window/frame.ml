@@ -55,9 +55,11 @@ let eval_offset table expr row =
   | Value.Int _ -> invalid_arg "Frame: negative frame offset"
   | _ -> invalid_arg "Frame: ROWS/GROUPS offsets must be non-negative integers"
 
-let compute table ~spec ~rows =
+let compute ?peers:precomputed table ~spec ~rows =
   let np = Array.length rows in
-  let peer_start, peer_end = peers table spec.order_by rows in
+  let peer_start, peer_end =
+    match precomputed with Some p -> p | None -> peers table spec.order_by rows
+  in
   let frame =
     match spec.frame with
     | Some f -> f

@@ -10,12 +10,19 @@ open Holistic_storage
 
 type t
 
-val compute : Table.t -> spec:Window_spec.t -> rows:int array -> t
+val compute :
+  ?peers:int array * int array -> Table.t -> spec:Window_spec.t -> rows:int array -> t
 (** [compute table ~spec ~rows] evaluates the frame specification for the
     partition whose rows (original indices, already in window-frame order)
     are [rows]. RANGE mode requires exactly one ORDER BY key of a numeric or
     date type; rows with a NULL RANGE key frame their null peer group, as in
-    PostgreSQL. @raise Invalid_argument on malformed specs. *)
+    PostgreSQL. [peers] supplies precomputed peer-group bounds (from
+    {!peers}) so plans evaluating several frames over one sorted partition
+    scan for peer groups once. @raise Invalid_argument on malformed specs. *)
+
+val peers : Table.t -> Sort_spec.t -> int array -> int array * int array
+(** [(peer_start, peer_end)] per partition position for the given window
+    ORDER BY — shareable across every frame with the same ORDER BY. *)
 
 val size : t -> int
 (** Number of rows in the partition. *)

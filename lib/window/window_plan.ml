@@ -1,0 +1,316 @@
+open Holistic_storage
+module Task_pool = Holistic_parallel.Task_pool
+module Introsort = Holistic_sort.Introsort
+module Parallel_sort = Holistic_sort.Parallel_sort
+
+type clause = { spec : Window_spec.t; items : Window_func.t list }
+
+type stats = {
+  stages : int;
+  partition_passes : int;
+  full_sorts : int;
+  partial_sorts : int;
+  reused_sorts : int;
+  encode_builds : int;
+  tree_builds : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Partition keys                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Integer partition keys from the PARTITION BY expressions: two rows get
+   equal keys iff every expression agrees. Per-column keys are computed
+   column-at-a-time (no per-row list allocation, and the expression phase
+   parallelises over the pool); multi-column keys are packed after
+   densifying each side, so the combine is pure integer arithmetic. The
+   stdlib [Hashtbl] compares with polymorphic equality, which preserves the
+   SQL-ish grouping of the old row-key path (NULLs group together, [nan]
+   equals [nan]). *)
+let densify_ints a =
+  let tbl = Hashtbl.create 256 in
+  Array.map
+    (fun v ->
+      match Hashtbl.find_opt tbl v with
+      | Some id -> id
+      | None ->
+          let id = Hashtbl.length tbl in
+          Hashtbl.add tbl v id;
+          id)
+    a
+
+let partition_ids pool table exprs =
+  let n = Table.nrows table in
+  match exprs with
+  | [] -> None
+  | _ ->
+      let key_of_expr e =
+        match e with
+        | Expr.Col name ->
+            (* exact per-column equality keys; raw values for int-like
+               columns, so no hash table at all on this path *)
+            Column.distinct_ids (Table.column table name)
+        | _ ->
+            let f = Expr.compile table e in
+            let vals = Array.make n Value.Null in
+            Task_pool.parallel_for pool ~lo:0 ~hi:n ~chunk:Task_pool.default_task_size
+              (fun lo hi ->
+                for i = lo to hi - 1 do
+                  Array.unsafe_set vals i (f i)
+                done);
+            let tbl = Hashtbl.create 256 in
+            Array.map
+              (fun v ->
+                match Hashtbl.find_opt tbl v with
+                | Some id -> id
+                | None ->
+                    let id = Hashtbl.length tbl in
+                    Hashtbl.add tbl v id;
+                    id)
+              vals
+      in
+      let ids =
+        match List.map key_of_expr exprs with
+        | [] -> assert false
+        | [ k ] -> k
+        | k :: rest ->
+            (* pack pairwise: densified ids are < n, so [a * n + b] is
+               collision-free and stays well inside 63-bit range *)
+            List.fold_left
+              (fun acc k ->
+                let a = densify_ints acc and b = densify_ints k in
+                Array.init n (fun i -> (a.(i) * n) + b.(i)))
+              k rest
+      in
+      Some ids
+
+(* ------------------------------------------------------------------ *)
+(* Sorting: full (partition, order) sorts and partial re-sorts          *)
+(* ------------------------------------------------------------------ *)
+
+let full_sort pool table ~pids ~order =
+  let n = Table.nrows table in
+  match pids, Sort_spec.single_int_key table order with
+  | None, Some keys ->
+      (* fast path: single global partition, single plain int key *)
+      let key = Array.copy keys in
+      let perm = Array.init n (fun i -> i) in
+      Parallel_sort.sort_pairs pool ~key ~payload:perm;
+      perm
+  | _ ->
+      let ord_cmp =
+        if order = [] then fun _ _ -> 0 else Sort_spec.comparator table order
+      in
+      let cmp =
+        match pids with
+        | None -> ord_cmp
+        | Some ids ->
+            fun i j ->
+              let c = Int.compare ids.(i) ids.(j) in
+              if c <> 0 then c else ord_cmp i j
+      in
+      Introsort.sort_indices_by n ~cmp
+
+let boundaries_of ~pids ~perm n =
+  match pids with
+  | None -> [| 0; n |]
+  | Some ids ->
+      let acc = ref [ 0 ] in
+      for k = 1 to n - 1 do
+        if not (Int.equal ids.(perm.(k)) ids.(perm.(k - 1))) then acc := k :: !acc
+      done;
+      Array.of_list (List.rev (n :: !acc))
+
+(* Partial-sort sharing (Cao et al., arXiv:1208.0086): a stage whose
+   partitioning matches an earlier sort re-sorts only within the inherited
+   partition boundaries — partition keys are never compared again. Ties
+   within the new order keep no particular base order (SQL leaves tie order
+   unspecified). *)
+let partial_sort table ~base_perm ~boundaries ~order =
+  let perm = Array.copy base_perm in
+  (match Sort_spec.fast_key table order with
+   | Some (Sort_spec.Int_key (keys, desc)) ->
+       let n = Array.length perm in
+       let key = Array.make n 0 in
+       for i = 0 to n - 1 do
+         let k = keys.(perm.(i)) in
+         (* [lnot] reverses int order without the [-min_int] overflow *)
+         key.(i) <- if desc then lnot k else k
+       done;
+       for p = 0 to Array.length boundaries - 2 do
+         Introsort.sort_pairs_range ~key ~payload:perm ~lo:boundaries.(p) ~hi:boundaries.(p + 1)
+       done
+   | _ ->
+       let ord_cmp =
+         if order = [] then fun _ _ -> 0 else Sort_spec.comparator table order
+       in
+       (* stable on row ids so repeated runs agree *)
+       let cmp i j =
+         let c = ord_cmp i j in
+         if c <> 0 then c else Int.compare i j
+       in
+       for p = 0 to Array.length boundaries - 2 do
+         Introsort.sort_by_range perm ~cmp ~lo:boundaries.(p) ~hi:boundaries.(p + 1)
+       done);
+  perm
+
+(* ------------------------------------------------------------------ *)
+(* Stage grouping                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* [o1] is a (possibly equal) prefix of [o2], keys compared structurally:
+   rows sorted by [o2] are also sorted by [o1], so a clause ordered by a
+   prefix of a stage order reuses the stage's permutation outright. *)
+let rec order_prefix (o1 : Sort_spec.t) (o2 : Sort_spec.t) =
+  match o1, o2 with
+  | [], _ -> true
+  | _, [] -> false
+  | k1 :: r1, k2 :: r2 -> k1 = k2 && order_prefix r1 r2
+
+let dedup_orders orders =
+  List.fold_left (fun acc o -> if List.mem o acc then acc else o :: acc) [] orders |> List.rev
+
+(* Stage orders for one partition group: the orders that are not a strict
+   prefix of another requested order, in first-appearance order. Every
+   clause is then assigned to the first stage whose order covers its own. *)
+let stage_orders orders =
+  let uniq = dedup_orders orders in
+  List.filter (fun o -> not (List.exists (fun o' -> o' <> o && order_prefix o o') uniq)) uniq
+
+(* ------------------------------------------------------------------ *)
+(* The plan                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let order_permutation ?pool table ~over =
+  let pool = match pool with Some p -> p | None -> Task_pool.default () in
+  let pids = partition_ids pool table over.Window_spec.partition_by in
+  let perm = full_sort pool table ~pids ~order:over.Window_spec.order_by in
+  (perm, boundaries_of ~pids ~perm (Table.nrows table))
+
+let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
+    ?(task_size = Task_pool.default_task_size) ?(width = Holistic_core.Mst_width.Auto) table
+    clauses =
+  let pool = match pool with Some p -> p | None -> Task_pool.default () in
+  let n = Table.nrows table in
+  let counters = Build_cache.fresh_counters () in
+  let n_stages = ref 0 and partition_passes = ref 0 in
+  let full_sorts = ref 0 and partial_sorts = ref 0 and reused_sorts = ref 0 in
+  (* output arrays up front, in clause/item appearance order *)
+  let outputs =
+    List.map
+      (fun c -> (c, List.map (fun (it : Window_func.t) -> (it, Array.make n Value.Null)) c.items))
+      clauses
+  in
+  (* group clauses by PARTITION BY (structural equality), appearance order *)
+  let pgroups : (Expr.t list * (clause * (Window_func.t * Value.t array) list) list ref) list =
+    List.fold_left
+      (fun acc ((c, _) as entry) ->
+        match List.find_opt (fun (pb, _) -> pb = c.spec.Window_spec.partition_by) acc with
+        | Some (_, members) ->
+            members := entry :: !members;
+            acc
+        | None -> acc @ [ (c.spec.Window_spec.partition_by, ref [ entry ]) ])
+      [] outputs
+  in
+  List.iter
+    (fun (pb, members) ->
+      let members = List.rev !members in
+      let pids = partition_ids pool table pb in
+      incr partition_passes;
+      let orders =
+        stage_orders (List.map (fun (c, _) -> c.spec.Window_spec.order_by) members)
+      in
+      (* first covering stage per clause, preserving member order in a stage *)
+      let stage_members order =
+        List.filter
+          (fun (c, _) ->
+            let co = c.spec.Window_spec.order_by in
+            match List.find_opt (fun o -> order_prefix co o) orders with
+            | Some first -> first == order
+            | None -> assert false)
+          members
+      in
+      let base = ref None in
+      List.iter
+        (fun order ->
+          let smembers = stage_members order in
+          incr n_stages;
+          reused_sorts := !reused_sorts + List.length smembers - 1;
+          let perm, boundaries =
+            match !base with
+            | None ->
+                let perm = full_sort pool table ~pids ~order in
+                incr full_sorts;
+                let b = boundaries_of ~pids ~perm n in
+                base := Some (perm, b);
+                (perm, b)
+            | Some (bperm, bnds) ->
+                if pids = None then begin
+                  (* single global partition: a "partial" re-sort would be a
+                     full comparator sort anyway, so sort independently and
+                     keep the fast paths *)
+                  incr full_sorts;
+                  (full_sort pool table ~pids ~order, bnds)
+                end
+                else begin
+                  incr partial_sorts;
+                  (partial_sort table ~base_perm:bperm ~boundaries:bnds ~order, bnds)
+                end
+          in
+          for p = 0 to Array.length boundaries - 2 do
+            let plo = boundaries.(p) and phi = boundaries.(p + 1) in
+            if phi > plo then begin
+              (* one row view per (stage, partition), shared by every clause
+                 and item of the stage *)
+              let rows = if plo = 0 && phi = n then perm else Array.sub perm plo (phi - plo) in
+              let cache = Build_cache.create ~counters () in
+              List.iter
+                (fun (c, outs) ->
+                  let spec = c.spec in
+                  let peers =
+                    Build_cache.peers cache ~order:spec.Window_spec.order_by (fun () ->
+                        Frame.peers table spec.Window_spec.order_by rows)
+                  in
+                  let frame = Frame.compute ~peers table ~spec ~rows in
+                  let ctx =
+                    {
+                      Evaluators.table;
+                      pool;
+                      rows;
+                      frame;
+                      window_order = spec.Window_spec.order_by;
+                      fanout;
+                      sample;
+                      task_size;
+                      width;
+                      cache;
+                    }
+                  in
+                  List.iter (fun (item, out) -> Evaluators.eval_item ctx item ~out) outs)
+                smembers
+            end
+          done)
+        orders)
+    pgroups;
+  let table' =
+    List.fold_left
+      (fun acc (_, outs) ->
+        List.fold_left
+          (fun acc ((item : Window_func.t), out) ->
+            Table.add_column acc item.name (Column.of_values out))
+          acc outs)
+      table outputs
+  in
+  ( table',
+    {
+      stages = !n_stages;
+      partition_passes = !partition_passes;
+      full_sorts = !full_sorts;
+      partial_sorts = !partial_sorts;
+      reused_sorts = !reused_sorts;
+      encode_builds = counters.Build_cache.encode_builds;
+      tree_builds = counters.Build_cache.tree_builds;
+    } )
+
+let run ?pool ?fanout ?sample ?task_size ?width table clauses =
+  fst (run_with_stats ?pool ?fanout ?sample ?task_size ?width table clauses)

@@ -1,0 +1,64 @@
+(** The multi-clause window pipeline: one plan for {e all} OVER clauses of a
+    query.
+
+    Clauses are grouped into a DAG of stages:
+
+    + {b Partition pass} — every clause with structurally equal PARTITION BY
+      expressions shares one partition-key computation.
+    + {b Sort stages} — within a partition group, the requested ORDER BYs
+      are reduced to their prefix-maximal set. A clause whose order is a
+      prefix of a stage order reuses the stage's permutation and boundaries
+      outright (full-sort sharing); a stage after the first re-sorts only
+      within the inherited partition boundaries (partial-sort sharing, Cao
+      et al., arXiv:1208.0086), never comparing partition keys again.
+    + {b Per-partition evaluation} — all frames and items of a stage are
+      evaluated over one sorted partition, sharing a {!Build_cache} so rank
+      encodings and index trees are built once per structural key.
+
+    Stages and clauses are evaluated in first-appearance order, so runs are
+    reproducible and error attribution is stable. Outputs land at original
+    row indices, so clause evaluation order never affects results — only
+    which clause's error surfaces first. *)
+
+open Holistic_storage
+
+type clause = { spec : Window_spec.t; items : Window_func.t list }
+
+type stats = {
+  stages : int;  (** sort stages across all partition groups *)
+  partition_passes : int;  (** partition-key computations (= partition groups) *)
+  full_sorts : int;  (** from-scratch (partition, order) sorts *)
+  partial_sorts : int;  (** within-boundary re-sorts *)
+  reused_sorts : int;  (** clauses served by an existing stage sort *)
+  encode_builds : int;  (** {!Holistic_core.Rank_encode} constructions *)
+  tree_builds : int;  (** index-structure constructions (MST and friends) *)
+}
+
+val run :
+  ?pool:Holistic_parallel.Task_pool.t ->
+  ?fanout:int ->
+  ?sample:int ->
+  ?task_size:int ->
+  ?width:Holistic_core.Mst_width.choice ->
+  Table.t ->
+  clause list ->
+  Table.t
+(** [run table clauses] evaluates every item of every clause and returns the
+    input table extended with one column per item (named by the item), in
+    the original row order. Parameters as in {!Executor.run}. *)
+
+val run_with_stats :
+  ?pool:Holistic_parallel.Task_pool.t ->
+  ?fanout:int ->
+  ?sample:int ->
+  ?task_size:int ->
+  ?width:Holistic_core.Mst_width.choice ->
+  Table.t ->
+  clause list ->
+  Table.t * stats
+(** {!run} plus sharing statistics for tests and benchmarks. *)
+
+val order_permutation :
+  ?pool:Holistic_parallel.Task_pool.t -> Table.t -> over:Window_spec.t -> int array * int array
+(** The sorted row permutation and partition boundary offsets for one spec
+    (boundaries has one extra trailing entry equal to the row count). *)
