@@ -20,6 +20,7 @@ type sizes = {
   mem_rows : int;
   ablation_rows : int;
   multiwindow_rows : int;
+  sort_keys_rows : int;
 }
 
 let sizes ~scale ~quick =
@@ -35,6 +36,7 @@ let sizes ~scale ~quick =
     mem_rows = f 1_000_000;
     ablation_rows = f 200_000;
     multiwindow_rows = f 400_000;
+    sort_keys_rows = f 1_000_000;
   }
 
 let experiments s =
@@ -56,6 +58,7 @@ let experiments s =
     ("mst-width", fun () -> Figures.mst_width ~rows:s.mem_rows ());
     ("ext-dense-rank", fun () -> Figures.ext_dense_rank ~scale:s.fig10_scale ());
     ("sql-multiwindow", fun () -> Multiwindow.run ~rows:s.multiwindow_rows ());
+    ("sort-keys", fun () -> Sort_keys.run ~rows:s.sort_keys_rows ());
     ("micro", Micro.run);
   ]
 

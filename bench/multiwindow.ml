@@ -120,6 +120,10 @@ let run ~rows () =
     legacy_counters.Build_cache.tree_builds;
   if stats.partition_passes <> 1 || stats.full_sorts <> 1 then
     failwith "sql-multiwindow: expected one shared partition pass and one full sort";
+  if stats.comparator_sorts <> 0 then
+    failwith
+      (Printf.sprintf "sql-multiwindow: %d sort(s) fell back to the comparator path"
+         stats.comparator_sorts);
   if
     stats.encode_builds >= legacy_counters.Build_cache.encode_builds
     || stats.tree_builds >= legacy_counters.Build_cache.tree_builds
@@ -162,6 +166,7 @@ let run ~rows () =
                ("full_sorts", H.J_int stats.full_sorts);
                ("partial_sorts", H.J_int stats.partial_sorts);
                ("reused_sorts", H.J_int stats.reused_sorts);
+               ("comparator_sorts", H.J_int stats.comparator_sorts);
                ("encode_builds", H.J_int stats.encode_builds);
                ("tree_builds", H.J_int stats.tree_builds);
              ] );

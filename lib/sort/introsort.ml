@@ -210,6 +210,106 @@ let sort_pairs ~key ~payload =
   sort_pairs_range ~key ~payload ~lo:0 ~hi:(Array.length key)
 
 (* ------------------------------------------------------------------ *)
+(* (key, tie-on-payload) pair sort                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Like the lexicographic pair sort, but key ties are resolved by an
+   arbitrary comparator on the payload values (not by payload magnitude):
+   this is the multi-word normalized-key sort, where the leading key word is
+   compared unboxed and contiguous, and [tie] descends into the remaining
+   words / residual comparator only when the leading words collide. [tie]
+   must be a strict total order (callers end the chain with a row-id
+   compare), so the result is deterministic. *)
+
+let insertion_sort2t (k : int array) (p : int array) tie lo hi =
+  for i = lo + 1 to hi - 1 do
+    let xk = Array.unsafe_get k i and xp = Array.unsafe_get p i in
+    let j = ref (i - 1) in
+    while
+      !j >= lo
+      &&
+      let jk = Array.unsafe_get k !j in
+      xk < jk || (xk = jk && tie xp (Array.unsafe_get p !j) < 0)
+    do
+      Array.unsafe_set k (!j + 1) (Array.unsafe_get k !j);
+      Array.unsafe_set p (!j + 1) (Array.unsafe_get p !j);
+      decr j
+    done;
+    Array.unsafe_set k (!j + 1) xk;
+    Array.unsafe_set p (!j + 1) xp
+  done
+
+let sift_down2t (k : int array) (p : int array) tie lo len root =
+  let less i j =
+    let ki = Array.unsafe_get k i and kj = Array.unsafe_get k j in
+    ki < kj || (ki = kj && tie (Array.unsafe_get p i) (Array.unsafe_get p j) < 0)
+  in
+  let root = ref root in
+  let continue_ = ref true in
+  while !continue_ do
+    let child = (2 * !root) + 1 in
+    if child >= len then continue_ := false
+    else begin
+      let child = if child + 1 < len && less (lo + child) (lo + child + 1) then child + 1 else child in
+      if less (lo + !root) (lo + child) then begin
+        swap2 k p (lo + !root) (lo + child);
+        root := child
+      end
+      else continue_ := false
+    end
+  done
+
+let heapsort2t k p tie lo hi =
+  let len = hi - lo in
+  for root = (len / 2) - 1 downto 0 do
+    sift_down2t k p tie lo len root
+  done;
+  for last = len - 1 downto 1 do
+    swap2 k p lo (lo + last);
+    sift_down2t k p tie lo last 0
+  done
+
+let rec intro2t (k : int array) (p : int array) tie lo hi depth =
+  let len = hi - lo in
+  if len <= insertion_threshold then insertion_sort2t k p tie lo hi
+  else if depth = 0 then heapsort2t k p tie lo hi
+  else begin
+    let m = lo + (len / 2) in
+    let less i j = k.(i) < k.(j) || (k.(i) = k.(j) && tie p.(i) p.(j) < 0) in
+    let a = lo and b = m and c = hi - 1 in
+    let le i j = not (less j i) in
+    let mi = if le a b then if le b c then b else if le a c then c else a
+             else if le a c then a
+             else if le b c then c
+             else b
+    in
+    let pk = k.(mi) and pp = p.(mi) in
+    let lt = ref lo and i = ref lo and gt = ref hi in
+    while !i < !gt do
+      let xk = Array.unsafe_get k !i and xp = Array.unsafe_get p !i in
+      if xk < pk || (xk = pk && tie xp pp < 0) then begin
+        swap2 k p !i !lt;
+        incr lt;
+        incr i
+      end
+      else if pk < xk || (pk = xk && tie pp xp < 0) then begin
+        decr gt;
+        swap2 k p !i !gt
+      end
+      else incr i
+    done;
+    intro2t k p tie lo !lt (depth - 1);
+    intro2t k p tie !gt hi (depth - 1)
+  end
+
+let sort_pairs_tie_range ~key ~payload ~tie ~lo ~hi =
+  if Array.length key <> Array.length payload then
+    invalid_arg "Introsort.sort_pairs_tie_range: length mismatch";
+  if lo < 0 || hi > Array.length key || lo > hi then
+    invalid_arg "Introsort.sort_pairs_tie_range";
+  intro2t key payload tie lo hi (depth_limit (hi - lo))
+
+(* ------------------------------------------------------------------ *)
 (* Lexicographic (float key, payload) pair sort                        *)
 (* ------------------------------------------------------------------ *)
 

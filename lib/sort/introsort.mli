@@ -20,6 +20,16 @@ val sort_pairs : key:int array -> payload:int array -> unit
 
 val sort_pairs_range : key:int array -> payload:int array -> lo:int -> hi:int -> unit
 
+val sort_pairs_tie_range :
+  key:int array -> payload:int array -> tie:(int -> int -> int) -> lo:int -> hi:int -> unit
+(** Sorts the segment [\[lo, hi)] of both arrays by [key] ascending, breaking
+    key ties with [tie] applied to the payload {e values}. This is the
+    multi-word normalized-key run sort: the leading key word lives in [key]
+    (unboxed int compares), and [tie] descends into trailing key words and the
+    residual comparator only on leading-word collisions. [tie] must be a
+    strict total order (end the chain with a row-id compare) for the result to
+    be deterministic. *)
+
 val sort_float_pairs : key:float array -> payload:int array -> unit
 (** {!sort_pairs} for float keys (ascending, NaNs sorted last via
     [Float.compare] semantics, ties broken by payload): the unboxed fast

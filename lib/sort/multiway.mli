@@ -26,6 +26,66 @@ val merge_pairs :
 
 val total_length : run array -> int
 
+(** {2 Multi-word normalized keys with offset-value coded merging} *)
+
+type multiword = {
+  key0 : int array;  (** leading key word per {e position} *)
+  payload : int array;  (** row id per position (moves with [key0]) *)
+  deep : int array array;
+      (** trailing key words, [deep.(w).(row_id)] — indexed by {e row id},
+          so they never move during sorting *)
+  tie : (int -> int -> int) option;
+      (** residual comparator on row ids for key parts no word could
+          express; applied after all words, before the final row-id
+          tie-break *)
+}
+(** A multi-word normalized-key view of a permutation being sorted: the
+    full sort order is [key0] ascending, then [deep] words in order, then
+    [tie], then ascending row id — a strict total order. *)
+
+val deep_compare : multiword -> int -> int -> int
+(** [deep_compare mw r1 r2] compares two {e row ids} by the trailing
+    words, the residual and the row-id tie-break (everything below
+    [key0]). *)
+
+val compare_positions : multiword -> int -> int -> int
+(** Full strict comparison of two {e positions}: [key0], then
+    {!deep_compare} on the rows they hold. *)
+
+val merge_multiword :
+  mw:multiword ->
+  runs:run array ->
+  dst_key0:int array ->
+  dst_payload:int array ->
+  dst_pos:int ->
+  unit
+(** Merges runs of [mw] (each sorted by {!compare_positions}) into
+    [dst_key0]/[dst_payload] starting at [dst_pos], using a tree of
+    losers with offset-value codes (Do & Graefe): comparisons between
+    keys sharing a prefix with the incumbent collapse to a single int
+    compare, and key words are only read when the codes tie. The [deep]
+    words are row-indexed and therefore shared between [mw] and the
+    destination. *)
+
+val ovc_stats : unit -> int * int
+(** [(decided, scanned)] cumulative counts of OVC merge comparisons
+    settled by codes alone vs needing a key-word scan, across all merges
+    (and domains) since the last {!reset_ovc_stats}. *)
+
+val reset_ovc_stats : unit -> unit
+
+val lower_bound_by : less:(int -> int -> bool) -> lo:int -> hi:int -> int -> int
+(** [lower_bound_by ~less ~lo ~hi p] is the first position [q] in
+    [\[lo, hi)] with [not (less q p)], for a segment sorted by the strict
+    order [less] on positions. *)
+
+val split_at_rank_by : less:(int -> int -> bool) -> runs:run array -> rank:int -> int array
+(** {!split_at_rank} under an arbitrary strict {e total} order on
+    positions (multisequence selection): returns one cut per run such
+    that the prefixes hold exactly the [rank] smallest elements. [less]
+    must never call with out-of-run positions and must be total (break
+    ties by row id), which makes the cut unique. *)
+
 val split_at_rank : src:int array -> runs:run array -> rank:int -> int array
 (** [split_at_rank ~src ~runs ~rank] returns one cut position per run (an
     absolute index within that run's bounds) such that the cut prefixes

@@ -49,6 +49,89 @@ let sort_pairs pool ~key ~payload =
   let runs = sort_runs pool ~key ~payload () in
   merge_runs pool ~key ~payload ~runs
 
+(* Run formation only pays off when the merge can run concurrently: on a
+   single-domain pool an unrequested task split would cost a full extra
+   merge pass over the data for nothing, so default to one run there. *)
+let effective_task_size pool n = function
+  | Some t -> t
+  | None -> if Task_pool.size pool = 1 then max n 1 else Task_pool.default_task_size
+
+let sort_multiword pool ?task_size ~mw () =
+  let key0 = mw.Multiway.key0 and payload = mw.Multiway.payload in
+  let n = Array.length key0 in
+  if Array.length payload <> n then invalid_arg "Parallel_sort.sort_multiword: length mismatch";
+  let task_size = effective_task_size pool n task_size in
+  let tie = Multiway.deep_compare mw in
+  let nruns = if n = 0 then 0 else ((n - 1) / task_size) + 1 in
+  let runs =
+    Array.init nruns (fun r -> { Multiway.lo = r * task_size; hi = min n ((r + 1) * task_size) })
+  in
+  Task_pool.run_list pool
+    (Array.to_list
+       (Array.map
+          (fun { Multiway.lo; hi } ->
+            fun () -> Introsort.sort_pairs_tie_range ~key:key0 ~payload ~tie ~lo ~hi)
+          runs));
+  if nruns > 1 then begin
+    let scratch_key = Array.make n 0 in
+    let scratch_payload = Array.make n 0 in
+    let segments = max 1 (Task_pool.size pool) in
+    let rank_of s = s * n / segments in
+    let cmp = Multiway.compare_positions mw in
+    let less i j = cmp i j < 0 in
+    let cuts =
+      Array.init (segments + 1) (fun s ->
+          Multiway.split_at_rank_by ~less ~runs ~rank:(rank_of s))
+    in
+    let tasks = ref [] in
+    for s = segments - 1 downto 0 do
+      let sub_runs =
+        Array.init nruns (fun r -> { Multiway.lo = cuts.(s).(r); hi = cuts.(s + 1).(r) })
+      in
+      let dst_pos = rank_of s in
+      tasks :=
+        (fun () ->
+          Multiway.merge_multiword ~mw ~runs:sub_runs ~dst_key0:scratch_key
+            ~dst_payload:scratch_payload ~dst_pos)
+        :: !tasks
+    done;
+    Task_pool.run_list pool !tasks;
+    Task_pool.parallel_for pool ~lo:0 ~hi:n ~chunk:(max 1 (n / (4 * segments)))
+      (fun lo hi ->
+        Array.blit scratch_key lo key0 lo (hi - lo);
+        Array.blit scratch_payload lo payload lo (hi - lo))
+  end
+
+let sort_encoded pool ?task_size ~n ~words ?tie () =
+  let nwords = Array.length words in
+  if nwords = 0 then begin
+    let perm =
+      match tie with
+      | None -> Array.init n (fun i -> i)
+      | Some t -> Introsort.sort_indices_by n ~cmp:t
+    in
+    (perm, [||])
+  end
+  else begin
+    Array.iter
+      (fun w -> if Array.length w <> n then invalid_arg "Parallel_sort.sort_encoded: word length")
+      words;
+    (* positions start out equal to row ids, so the trailing words can be
+       used row-indexed without any copy; only the leading word moves *)
+    let key0 = Array.copy words.(0) in
+    let perm = Array.init n (fun i -> i) in
+    (match (nwords, tie) with
+    | 1, None ->
+        let task_size = effective_task_size pool n task_size in
+        let runs = sort_runs pool ~task_size ~key:key0 ~payload:perm () in
+        merge_runs pool ~key:key0 ~payload:perm ~runs
+    | _ ->
+        let deep = Array.sub words 1 (nwords - 1) in
+        let mw = { Multiway.key0; payload = perm; deep; tie } in
+        sort_multiword pool ?task_size ~mw ());
+    (perm, key0)
+  end
+
 let sort pool a =
   let n = Array.length a in
   if Task_pool.size pool = 1 || n <= Task_pool.default_task_size then Introsort.sort a

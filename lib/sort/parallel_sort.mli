@@ -25,5 +25,31 @@ val sort_pairs : Task_pool.t -> key:int array -> payload:int array -> unit
 (** [sort_runs] followed by [merge_runs]: a stable parallel sort by
     [(key, payload)]. *)
 
+val sort_multiword : Task_pool.t -> ?task_size:int -> mw:Multiway.multiword -> unit -> unit
+(** Parallel sort of a multi-word normalized-key permutation: task-local
+    introsort runs on [(key0, deep-tie)], then multisequence selection at
+    balanced global ranks and per-segment offset-value coded loser-tree
+    merges ({!Multiway.merge_multiword}). Sorts [mw.key0]/[mw.payload] in
+    place by {!Multiway.compare_positions}. On a single-domain pool with no
+    explicit [task_size] the whole range is one run and the merge phase is
+    skipped (also in {!sort_encoded}): the split only pays off when the
+    merges run concurrently. *)
+
+val sort_encoded :
+  Task_pool.t ->
+  ?task_size:int ->
+  n:int ->
+  words:int array array ->
+  ?tie:(int -> int -> int) ->
+  unit ->
+  int array * int array
+(** [sort_encoded pool ~n ~words ?tie ()] sorts rows [0..n-1] by the
+    row-indexed key words [words] in order, then [tie] (a residual
+    comparator on row ids), then ascending row id, and returns
+    [(perm, sorted_key0)]: the sorted permutation and the leading key
+    word gathered in sorted order ([[||]] when [words] is empty). Single
+    word, no residual uses the existing lexicographic run/merge path;
+    anything wider goes through {!sort_multiword}. *)
+
 val sort : Task_pool.t -> int array -> unit
 (** Parallel ascending sort of a plain int array. *)

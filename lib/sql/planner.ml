@@ -358,8 +358,8 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ~tables (q : Ast.query) =
   let result =
     if q.Ast.order_by = [] then result
     else begin
-      let spec =
-        List.map
+      let sources =
+        List.concat_map
           (fun (k : Ast.order_key) ->
             (* keys may name output columns or base columns *)
             let table_for =
@@ -367,26 +367,16 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ~tables (q : Ast.query) =
               | Ast.Col c when Table.column_opt result c <> None -> result
               | _ -> with_windows
             in
-            (table_for, k))
+            List.map (fun key -> { Key_codec.table = table_for; key }) (lower_order table_for [ k ]))
           q.Ast.order_by
       in
-      let cmps =
-        List.map
-          (fun (tbl, k) ->
-            let spec = lower_order tbl [ k ] in
-            Sort_spec.comparator tbl spec)
-          spec
+      let n = Table.nrows result in
+      let kc = Key_codec.compile_sources ~n sources in
+      let sort_pool = match pool with Some p -> p | None -> Holistic_parallel.Task_pool.default () in
+      let perm, _ =
+        Holistic_sort.Parallel_sort.sort_encoded sort_pool ~n ~words:kc.Key_codec.words
+          ?tie:kc.Key_codec.residual ()
       in
-      let cmp i j =
-        let rec go = function
-          | [] -> compare i j
-          | c :: rest ->
-              let r = c i j in
-              if r <> 0 then r else go rest
-        in
-        go cmps
-      in
-      let perm = Holistic_sort.Introsort.sort_indices_by (Table.nrows result) ~cmp in
       Table.gather result perm
     end
   in

@@ -13,24 +13,22 @@ let nulls_last_flag key =
   | Nulls_default, Asc -> true
   | Nulls_default, Desc -> false
 
+let key_comparator table key =
+  let f = Expr.compile table key.expr in
+  let nulls_last = nulls_last_flag key in
+  let sign = match key.direction with Asc -> 1 | Desc -> -1 in
+  fun i j ->
+    let a = f i and b = f j in
+    (* NULL placement is absolute (not flipped by DESC once resolved):
+       compare non-nulls under the direction, place NULLs per flag. *)
+    match Value.is_null a, Value.is_null b with
+    | true, true -> 0
+    | true, false -> if nulls_last then 1 else -1
+    | false, true -> if nulls_last then -1 else 1
+    | false, false -> sign * Value.compare_sql ~nulls_last:true a b
+
 let comparator table spec =
-  let compiled =
-    List.map
-      (fun key ->
-        let f = Expr.compile table key.expr in
-        let nulls_last = nulls_last_flag key in
-        let sign = match key.direction with Asc -> 1 | Desc -> -1 in
-        fun i j ->
-          let a = f i and b = f j in
-          (* NULL placement is absolute (not flipped by DESC once resolved):
-             compare non-nulls under the direction, place NULLs per flag. *)
-          match Value.is_null a, Value.is_null b with
-          | true, true -> 0
-          | true, false -> if nulls_last then 1 else -1
-          | false, true -> if nulls_last then -1 else 1
-          | false, false -> sign * Value.compare_sql ~nulls_last:true a b)
-      spec
-  in
+  let compiled = List.map (key_comparator table) spec in
   fun i j ->
     let rec go = function
       | [] -> 0
@@ -42,9 +40,14 @@ let comparator table spec =
 
 type fast_key = Int_key of int array * bool | Float_key of float array * bool
 
+(* Both fast paths require the column to carry no NULLs, and on a NULL-free
+   column every [nulls_order] is semantically identical — so an explicit
+   NULLS LAST on ASC (or NULLS FIRST on DESC, or any other spelling) must
+   not fall off the fast path. Only the column's data matters here. *)
+
 let fast_key table spec =
   match spec with
-  | [ { expr = Expr.Col name; direction; nulls = Nulls_default } ] -> begin
+  | [ { expr = Expr.Col name; direction; nulls = _ } ] -> begin
       match Table.column_opt table name with
       | Some c when Column.null_mask c = None -> begin
           let desc = direction = Desc in
@@ -59,7 +62,7 @@ let fast_key table spec =
 
 let single_int_key table spec =
   match spec with
-  | [ { expr = Expr.Col name; direction = Asc; nulls = Nulls_default } ] -> begin
+  | [ { expr = Expr.Col name; direction = Asc; nulls = _ } ] -> begin
       match Table.column_opt table name with
       | Some c when Column.null_mask c = None -> begin
           match Column.data c with

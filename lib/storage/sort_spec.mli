@@ -14,15 +14,26 @@ type t = key list
 val asc : ?nulls:nulls_order -> Expr.t -> key
 val desc : ?nulls:nulls_order -> Expr.t -> key
 
+val nulls_last_flag : key -> bool
+(** Resolved NULL placement: [Nulls_default] means LAST for ASC, FIRST for
+    DESC (the SQL default). *)
+
 val comparator : Table.t -> t -> int -> int -> int
 (** [comparator table spec] is a compiled total preorder on row indices:
     keys are evaluated once per comparison with column references resolved
     up front. *)
 
+val key_comparator : Table.t -> key -> int -> int -> int
+(** The single-key building block of {!comparator}: direction and NULL
+    placement applied to one compiled expression. Exposed so multi-table
+    sort pipelines (the key codec's residual) can mix keys resolved against
+    different tables. *)
+
 val single_int_key : Table.t -> t -> int array option
-(** When the spec is a single ascending, default-null, plain integer-kinded
-    column without NULLs, its raw key array — the fast path that skips
-    comparator-based preprocessing. *)
+(** When the spec is a single ascending, plain integer-kinded column
+    without NULLs, its raw key array — the fast path that skips
+    comparator-based preprocessing. Any [nulls_order] spelling matches: on
+    a NULL-free column they are all equivalent. *)
 
 type fast_key = Int_key of int array * bool | Float_key of float array * bool
 (** Raw key array plus a descending flag. *)

@@ -1,6 +1,7 @@
 open Holistic_storage
 module Task_pool = Holistic_parallel.Task_pool
 module Introsort = Holistic_sort.Introsort
+module Multiway = Holistic_sort.Multiway
 module Parallel_sort = Holistic_sort.Parallel_sort
 
 type clause = { spec : Window_spec.t; items : Window_func.t list }
@@ -11,6 +12,7 @@ type stats = {
   full_sorts : int;
   partial_sorts : int;
   reused_sorts : int;
+  comparator_sorts : int;
   encode_builds : int;
   tree_builds : int;
 }
@@ -88,71 +90,89 @@ let partition_ids pool table exprs =
 (* Sorting: full (partition, order) sorts and partial re-sorts          *)
 (* ------------------------------------------------------------------ *)
 
+(* Partition boundaries straight off the sorted leading key word: the
+   partition component of word 0 is [word / divisor] (see
+   {!Key_codec.pid_divisor}), so boundaries need no second pass over
+   partition ids through the permutation. Count-then-fill: no O(n) list
+   churn. *)
+let boundaries_of_key0 ~key0 ~divisor n =
+  let count = ref 1 in
+  for k = 1 to n - 1 do
+    if key0.(k) / divisor <> key0.(k - 1) / divisor then incr count
+  done;
+  let b = Array.make (!count + 1) 0 in
+  b.(!count) <- n;
+  let idx = ref 1 in
+  for k = 1 to n - 1 do
+    if key0.(k) / divisor <> key0.(k - 1) / divisor then begin
+      b.(!idx) <- k;
+      incr idx
+    end
+  done;
+  b
+
+(* Every full sort goes through the key codec: partition ids become the
+   leading component of word 0, ORDER BY keys become the remaining words,
+   and the parallel run-sort/OVC-merge machinery does the rest. A sort
+   counts as comparator-path only when the codec produced no words at all
+   (nothing but closure comparisons) — the regression the stats guard
+   against. Returns [(perm, partition boundaries, comparator_path)]. *)
 let full_sort pool table ~pids ~order =
   let n = Table.nrows table in
-  match pids, Sort_spec.single_int_key table order with
-  | None, Some keys ->
-      (* fast path: single global partition, single plain int key *)
-      let key = Array.copy keys in
-      let perm = Array.init n (fun i -> i) in
-      Parallel_sort.sort_pairs pool ~key ~payload:perm;
-      perm
-  | _ ->
-      let ord_cmp =
-        if order = [] then fun _ _ -> 0 else Sort_spec.comparator table order
-      in
-      let cmp =
-        match pids with
-        | None -> ord_cmp
-        | Some ids ->
-            fun i j ->
-              let c = Int.compare ids.(i) ids.(j) in
-              if c <> 0 then c else ord_cmp i j
-      in
-      Introsort.sort_indices_by n ~cmp
-
-let boundaries_of ~pids ~perm n =
-  match pids with
-  | None -> [| 0; n |]
-  | Some ids ->
-      let acc = ref [ 0 ] in
-      for k = 1 to n - 1 do
-        if not (Int.equal ids.(perm.(k)) ids.(perm.(k - 1))) then acc := k :: !acc
-      done;
-      Array.of_list (List.rev (n :: !acc))
+  let kc = Key_codec.compile ?pids table order in
+  let perm, key0 =
+    Parallel_sort.sort_encoded pool ~n ~words:kc.Key_codec.words ?tie:kc.Key_codec.residual ()
+  in
+  let boundaries =
+    match kc.Key_codec.pid_divisor with
+    | None -> [| 0; n |]
+    | Some divisor -> boundaries_of_key0 ~key0 ~divisor n
+  in
+  let comparator_path =
+    Array.length kc.Key_codec.words = 0 && kc.Key_codec.residual <> None
+  in
+  (perm, boundaries, comparator_path)
 
 (* Partial-sort sharing (Cao et al., arXiv:1208.0086): a stage whose
    partitioning matches an earlier sort re-sorts only within the inherited
-   partition boundaries — partition keys are never compared again. Ties
-   within the new order keep no particular base order (SQL leaves tie order
-   unspecified). *)
+   partition boundaries — partition keys are never compared again. The new
+   order's compiled key words are gathered once through the base
+   permutation; ties fall back to deep words, the residual and finally the
+   row id, so repeated runs agree. *)
 let partial_sort table ~base_perm ~boundaries ~order =
   let perm = Array.copy base_perm in
-  (match Sort_spec.fast_key table order with
-   | Some (Sort_spec.Int_key (keys, desc)) ->
-       let n = Array.length perm in
-       let key = Array.make n 0 in
-       for i = 0 to n - 1 do
-         let k = keys.(perm.(i)) in
-         (* [lnot] reverses int order without the [-min_int] overflow *)
-         key.(i) <- if desc then lnot k else k
-       done;
-       for p = 0 to Array.length boundaries - 2 do
-         Introsort.sort_pairs_range ~key ~payload:perm ~lo:boundaries.(p) ~hi:boundaries.(p + 1)
-       done
-   | _ ->
-       let ord_cmp =
-         if order = [] then fun _ _ -> 0 else Sort_spec.comparator table order
-       in
-       (* stable on row ids so repeated runs agree *)
-       let cmp i j =
-         let c = ord_cmp i j in
-         if c <> 0 then c else Int.compare i j
-       in
-       for p = 0 to Array.length boundaries - 2 do
-         Introsort.sort_by_range perm ~cmp ~lo:boundaries.(p) ~hi:boundaries.(p + 1)
-       done);
-  perm
+  let n = Array.length perm in
+  let kc = Key_codec.compile table order in
+  let words = kc.Key_codec.words in
+  let comparator_path = Array.length words = 0 && kc.Key_codec.residual <> None in
+  (if Array.length words = 0 then begin
+     let cmp = Key_codec.comparator kc in
+     for p = 0 to Array.length boundaries - 2 do
+       Introsort.sort_by_range perm ~cmp ~lo:boundaries.(p) ~hi:boundaries.(p + 1)
+     done
+   end
+   else begin
+     let w0 = words.(0) in
+     let key = Array.make n 0 in
+     for i = 0 to n - 1 do
+       key.(i) <- w0.(perm.(i))
+     done;
+     match Array.length words, kc.Key_codec.residual with
+     | 1, None ->
+         for p = 0 to Array.length boundaries - 2 do
+           Introsort.sort_pairs_range ~key ~payload:perm ~lo:boundaries.(p) ~hi:boundaries.(p + 1)
+         done
+     | nw, residual ->
+         let mw =
+           { Multiway.key0 = key; payload = perm; deep = Array.sub words 1 (nw - 1); tie = residual }
+         in
+         let tie = Multiway.deep_compare mw in
+         for p = 0 to Array.length boundaries - 2 do
+           Introsort.sort_pairs_tie_range ~key ~payload:perm ~tie ~lo:boundaries.(p)
+             ~hi:boundaries.(p + 1)
+         done
+   end);
+  (perm, comparator_path)
 
 (* ------------------------------------------------------------------ *)
 (* Stage grouping                                                      *)
@@ -184,8 +204,8 @@ let stage_orders orders =
 let order_permutation ?pool table ~over =
   let pool = match pool with Some p -> p | None -> Task_pool.default () in
   let pids = partition_ids pool table over.Window_spec.partition_by in
-  let perm = full_sort pool table ~pids ~order:over.Window_spec.order_by in
-  (perm, boundaries_of ~pids ~perm (Table.nrows table))
+  let perm, boundaries, _ = full_sort pool table ~pids ~order:over.Window_spec.order_by in
+  (perm, boundaries)
 
 let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
     ?(task_size = Task_pool.default_task_size) ?(width = Holistic_core.Mst_width.Auto) table
@@ -195,6 +215,7 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
   let counters = Build_cache.fresh_counters () in
   let n_stages = ref 0 and partition_passes = ref 0 in
   let full_sorts = ref 0 and partial_sorts = ref 0 and reused_sorts = ref 0 in
+  let comparator_sorts = ref 0 in
   (* output arrays up front, in clause/item appearance order *)
   let outputs =
     List.map
@@ -239,22 +260,26 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
           let perm, boundaries =
             match !base with
             | None ->
-                let perm = full_sort pool table ~pids ~order in
+                let perm, b, comp = full_sort pool table ~pids ~order in
                 incr full_sorts;
-                let b = boundaries_of ~pids ~perm n in
+                if comp then incr comparator_sorts;
                 base := Some (perm, b);
                 (perm, b)
             | Some (bperm, bnds) ->
                 if pids = None then begin
-                  (* single global partition: a "partial" re-sort would be a
-                     full comparator sort anyway, so sort independently and
-                     keep the fast paths *)
+                  (* single global partition: a "partial" re-sort would cover
+                     the whole array anyway, so sort independently and keep
+                     the parallel path *)
                   incr full_sorts;
-                  (full_sort pool table ~pids ~order, bnds)
+                  let perm, _, comp = full_sort pool table ~pids ~order in
+                  if comp then incr comparator_sorts;
+                  (perm, bnds)
                 end
                 else begin
                   incr partial_sorts;
-                  (partial_sort table ~base_perm:bperm ~boundaries:bnds ~order, bnds)
+                  let perm, comp = partial_sort table ~base_perm:bperm ~boundaries:bnds ~order in
+                  if comp then incr comparator_sorts;
+                  (perm, bnds)
                 end
           in
           for p = 0 to Array.length boundaries - 2 do
@@ -308,6 +333,7 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
       full_sorts = !full_sorts;
       partial_sorts = !partial_sorts;
       reused_sorts = !reused_sorts;
+      comparator_sorts = !comparator_sorts;
       encode_builds = counters.Build_cache.encode_builds;
       tree_builds = counters.Build_cache.tree_builds;
     } )

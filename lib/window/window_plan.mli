@@ -30,6 +30,10 @@ type stats = {
   full_sorts : int;  (** from-scratch (partition, order) sorts *)
   partial_sorts : int;  (** within-boundary re-sorts *)
   reused_sorts : int;  (** clauses served by an existing stage sort *)
+  comparator_sorts : int;
+      (** sorts (full or partial) that ran on the closure-comparator path
+          because the key codec produced no words — should be zero for any
+          spec over int/date/float/string/bool keys *)
   encode_builds : int;  (** {!Holistic_core.Rank_encode} constructions *)
   tree_builds : int;  (** index-structure constructions (MST and friends) *)
 }
