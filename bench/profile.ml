@@ -1,23 +1,21 @@
 (* Fig. 14: phase breakdown of a framed running COUNT DISTINCT, built from
-   the same library pieces the window operator uses, with a timer around
-   each pipeline phase (paper §6.7). *)
+   the same library pieces the window operator uses, with an [Obs.span]
+   around each pipeline phase (paper §6.7).  Running under [Obs.with_capture]
+   means the capture also picks up the library's own spans (sort.runs,
+   sort.merge, ...) nested below the phases, so besides the printed table we
+   can emit the whole execution as a Chrome trace_event file. *)
 
 open Holistic_storage
 module Task_pool = Holistic_parallel.Task_pool
 module Parallel_sort = Holistic_sort.Parallel_sort
 module Mst = Holistic_core.Mst
 module Bs = Holistic_util.Binary_search
+module Obs = Holistic_obs.Obs
 
 let phases table =
   let pool = Task_pool.default () in
   let n = Table.nrows table in
-  let timers = ref [] in
-  let phase name f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    timers := (name, Unix.gettimeofday () -. t0) :: !timers;
-    r
-  in
+  let phase name f = Obs.span name f in
   (* --- window operator set-up: order by l_shipdate ------------------- *)
   let ship, partkey =
     phase "partition input" (fun () ->
@@ -65,12 +63,19 @@ let phases table =
             let hi_frame = Bs.upper_bound ship ~lo:0 ~hi:n ship.(i) in
             out.(i) <- Mst.count tree ~lo:0 ~hi:hi_frame ~less_than:1
           done));
-  (List.rev !timers, out)
+  out
+
+let trace_file = "TRACE_profile.json"
 
 let run ~rows =
   let table = Holistic_data.Tpch.lineitem ~rows () in
   Harness.gc_settle ();
-  let timers, out = phases table in
+  let out, trace = Obs.with_capture (fun () -> phases table) in
+  (* The phase spans are the capture's roots; the library spans they
+     enclose (sort.runs, sort.merge) stay out of the printed table but go
+     into the Chrome trace. *)
+  let roots = { trace with Obs.spans = List.filter (fun s -> s.Obs.parent = -1) trace.Obs.spans } in
+  let timers = List.map (fun (name, (_count, secs)) -> (name, secs)) (Obs.totals roots) in
   let total = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 timers in
   Harness.note "rows: %d, total %.3f s, final running distinct count: %d" rows total
     out.(rows - 1);
@@ -87,4 +92,5 @@ let run ~rows =
              String.make (int_of_float (40.0 *. share)) '#';
            ])
          timers);
+  Obs.write_chrome_trace trace_file trace;
   timers

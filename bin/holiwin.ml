@@ -133,15 +133,46 @@ let query_cmd =
 
 let explain_cmd =
   let sql = Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL") in
-  let run sql =
-    try
-      print_string (Holistic_sql.Sql.explain sql);
-      0
-    with Holistic_sql.Parser.Error (msg, off) ->
-      Printf.eprintf "parse error at offset %d: %s\n" off msg;
-      1
+  let tables =
+    Arg.(value & opt_all string [] & info [ "table"; "t" ] ~docv:"NAME=SRC"
+           ~doc:"Bind a table (for --analyze): NAME=file.csv or NAME=generator:rows.")
   in
-  Cmd.v (Cmd.info "explain" ~doc:"Parse a query and show its structure") Term.(const run $ sql)
+  let analyze =
+    Arg.(value & flag & info [ "analyze" ]
+           ~doc:"EXPLAIN ANALYZE: execute the query with tracing on and append the \
+                 span tree (per-stage wall time, rows, sort provenance) and counters.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"With --analyze, also write the capture as Chrome trace_event JSON \
+                 (open in chrome://tracing or Perfetto).")
+  in
+  let run sql table_specs analyze trace_out =
+    try
+      if analyze then begin
+        let tables = List.map load_table table_specs in
+        let result, trace = Holistic_sql.Sql.explain_analyze_trace ~tables sql in
+        print_string (Holistic_sql.Sql.explain sql);
+        Printf.printf "rows: %d\n" (Table.nrows result);
+        print_string (Holistic_obs.Obs.render trace);
+        Option.iter (fun path -> Holistic_obs.Obs.write_chrome_trace path trace) trace_out
+      end
+      else print_string (Holistic_sql.Sql.explain sql);
+      0
+    with
+    | Holistic_sql.Parser.Error (msg, off) | Holistic_sql.Sql.Parse_error (msg, off) ->
+        Printf.eprintf "parse error at offset %d: %s\n" off msg;
+        1
+    | Holistic_sql.Sql.Semantic_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show a query's structure; --analyze executes it with tracing")
+    Term.(const run $ sql $ tables $ analyze $ trace_out)
 
 let () =
   let doc = "Arbitrarily-framed holistic window aggregates (merge sort trees)" in

@@ -1,0 +1,311 @@
+external now_ns : unit -> int = "holistic_obs_now_ns" [@@noalloc]
+
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  tid : int;
+  t0_ns : int;
+  mutable dur_ns : int;
+  mutable args : (string * string) list;
+}
+
+(* The enabled flag is the whole fast-path contract: every tracing entry
+   point loads it first and bails, so a disabled build pays one atomic
+   read (a plain load on x86/arm) and whatever closures the call site
+   itself allocates. *)
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+(* Bounded global buffer of finished-or-running spans, newest first.  A
+   mutex (not a lock-free structure) is fine here: spans are recorded at
+   partition/stage granularity, never per row. *)
+let buf_mutex = Mutex.create ()
+let buf : span list ref = ref []
+let buf_len = ref 0
+let buf_dropped = ref 0
+let max_spans = 1 lsl 18
+let next_id = Atomic.make 0
+
+let record s =
+  Mutex.lock buf_mutex;
+  if !buf_len >= max_spans then incr buf_dropped
+  else begin
+    buf := s :: !buf;
+    incr buf_len
+  end;
+  Mutex.unlock buf_mutex
+
+(* Per-domain stack of open spans, for parent links and [annotate]. *)
+let stack_key : span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let span ?args name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with [] -> -1 | p :: _ -> p.id in
+    let s =
+      {
+        id = Atomic.fetch_and_add next_id 1;
+        parent;
+        name;
+        tid = (Domain.self () :> int);
+        t0_ns = now_ns ();
+        dur_ns = 0;
+        args = [];
+      }
+    in
+    (* Recorded at start so nesting order in the buffer is start order
+       (parents strictly before children), which [render] relies on. *)
+    record s;
+    stack := s :: !stack;
+    let finish () =
+      s.dur_ns <- now_ns () - s.t0_ns;
+      (match args with None -> () | Some g -> s.args <- s.args @ g ());
+      match !stack with _ :: tl -> stack := tl | [] -> ()
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let annotate kvs =
+  if Atomic.get enabled_flag then
+    match !(Domain.DLS.get stack_key) with
+    | s :: _ -> s.args <- s.args @ kvs
+    | [] -> ()
+
+module Counter = struct
+  type t = { name : string; cell : int Atomic.t }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+  let reg_mutex = Mutex.create ()
+
+  let make name =
+    Mutex.lock reg_mutex;
+    let c =
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+          let c = { name; cell = Atomic.make 0 } in
+          Hashtbl.add registry name c;
+          c
+    in
+    Mutex.unlock reg_mutex;
+    c
+
+  let name c = c.name
+  let add_always c n = if n <> 0 then ignore (Atomic.fetch_and_add c.cell n)
+  let add c n = if Atomic.get enabled_flag then add_always c n
+  let incr c = add c 1
+  let value c = Atomic.get c.cell
+  let set c v = Atomic.set c.cell v
+
+  let snapshot () =
+    Mutex.lock reg_mutex;
+    let all = Hashtbl.fold (fun n c acc -> (n, Atomic.get c.cell) :: acc) registry [] in
+    Mutex.unlock reg_mutex;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+  let reset_all () =
+    Mutex.lock reg_mutex;
+    Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry;
+    Mutex.unlock reg_mutex
+end
+
+type trace = { spans : span list; counters : (string * int) list; dropped : int }
+
+let capture () =
+  Mutex.lock buf_mutex;
+  let spans = List.rev !buf and dropped = !buf_dropped in
+  Mutex.unlock buf_mutex;
+  let counters = List.filter (fun (_, v) -> v <> 0) (Counter.snapshot ()) in
+  { spans; counters; dropped }
+
+let reset () =
+  Mutex.lock buf_mutex;
+  buf := [];
+  buf_len := 0;
+  buf_dropped := 0;
+  Mutex.unlock buf_mutex;
+  Counter.reset_all ()
+
+let with_capture f =
+  let was = enabled () in
+  reset ();
+  enable ();
+  let restore () = if not was then disable () in
+  match f () with
+  | v ->
+      let t = capture () in
+      restore ();
+      (v, t)
+  | exception e ->
+      restore ();
+      raise e
+
+let totals tr =
+  let order = ref [] in
+  let tbl : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt tbl s.name with
+      | None ->
+          order := s.name :: !order;
+          Hashtbl.add tbl s.name (1, s.dur_ns)
+      | Some (c, d) -> Hashtbl.replace tbl s.name (c + 1, d + s.dur_ns))
+    tr.spans;
+  List.rev_map
+    (fun n ->
+      let c, d = Hashtbl.find tbl n in
+      (n, (c, float_of_int d *. 1e-9)))
+    !order
+
+(* --- rendering ------------------------------------------------------- *)
+
+let ms ns = Printf.sprintf "%.3f ms" (float_of_int ns /. 1e6)
+
+let args_to_string = function
+  | [] -> ""
+  | kvs -> " {" ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs) ^ "}"
+
+let render tr =
+  let b = Buffer.create 1024 in
+  (* children grouped under their parent, in start order; a parent always
+     precedes its children in [tr.spans], so one pass suffices.  Spans
+     whose parent fell out of the bounded buffer render as roots. *)
+  let known = Hashtbl.create 64 in
+  let children : (int, span list ref) Hashtbl.t = Hashtbl.create 64 in
+  let kids id = match Hashtbl.find_opt children id with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add children id r;
+        r
+  in
+  List.iter
+    (fun s ->
+      Hashtbl.replace known s.id ();
+      let parent = if s.parent >= 0 && Hashtbl.mem known s.parent then s.parent else -1 in
+      let r = kids parent in
+      r := s :: !r)
+    tr.spans;
+  let children_of id = List.rev !(kids id) in
+  (* Sibling spans with the same (name, args) — e.g. one span per
+     partition — aggregate into a single line with a xN multiplicity, so
+     the rendering is deterministic whatever the partition count. *)
+  let rec emit depth spans =
+    let seen = ref [] in
+    let groups : (string, span list ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        let key = s.name ^ "\x00" ^ String.concat "\x00" (List.concat_map (fun (k, v) -> [ k; v ]) s.args) in
+        match Hashtbl.find_opt groups key with
+        | Some r -> r := s :: !r
+        | None ->
+            Hashtbl.add groups key (ref [ s ]);
+            seen := key :: !seen)
+      spans;
+    List.iter
+      (fun key ->
+        let members = List.rev !(Hashtbl.find groups key) in
+        let head = List.hd members in
+        let count = List.length members in
+        let total = List.fold_left (fun acc s -> acc + s.dur_ns) 0 members in
+        let label =
+          head.name ^ args_to_string head.args
+          ^ if count > 1 then Printf.sprintf " x%d" count else ""
+        in
+        let indent = String.make (2 * depth) ' ' in
+        let line = indent ^ label in
+        let pad = max 1 (56 - String.length line) in
+        Buffer.add_string b (line ^ String.make pad ' ' ^ Printf.sprintf "%12s" (ms total) ^ "\n");
+        emit (depth + 1) (List.concat_map (fun s -> children_of s.id) members))
+      (List.rev !seen)
+  in
+  emit 0 (children_of (-1));
+  if tr.counters <> [] then begin
+    Buffer.add_string b "counters\n";
+    List.iter
+      (fun (n, v) ->
+        let shown =
+          (* nanosecond-valued counters render in the same maskable
+             millisecond format as span times *)
+          if String.length n > 3 && String.sub n (String.length n - 3) 3 = "_ns" then
+            Printf.sprintf "%12s" (ms v)
+          else Printf.sprintf "%12d" v
+        in
+        let line = "  " ^ n in
+        let pad = max 1 (56 - String.length line) in
+        Buffer.add_string b (line ^ String.make pad ' ' ^ shown ^ "\n"))
+      tr.counters
+  end;
+  if tr.dropped > 0 then
+    Buffer.add_string b (Printf.sprintf "(%d spans dropped: buffer full)\n" tr.dropped);
+  Buffer.contents b
+
+(* --- Chrome trace_event export --------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_chrome_json tr =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_char b ',' in
+  let t_base = match tr.spans with [] -> 0 | s :: _ -> s.t0_ns in
+  let last_ts = ref 0.0 in
+  List.iter
+    (fun s ->
+      sep ();
+      let ts = float_of_int (s.t0_ns - t_base) /. 1e3 in
+      let dur = float_of_int s.dur_ns /. 1e3 in
+      if ts +. dur > !last_ts then last_ts := ts +. dur;
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"holistic\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f"
+           (json_escape s.name) s.tid ts dur);
+      if s.args <> [] then begin
+        Buffer.add_string b ",\"args\":{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          s.args;
+        Buffer.add_char b '}'
+      end;
+      Buffer.add_char b '}')
+    tr.spans;
+  List.iter
+    (fun (n, v) ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%.3f,\"args\":{\"value\":%d}}"
+           (json_escape n) !last_ts v))
+    tr.counters;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_chrome_trace path tr =
+  let oc = open_out path in
+  output_string oc (to_chrome_json tr);
+  close_out oc

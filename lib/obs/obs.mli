@@ -1,0 +1,97 @@
+(** Low-overhead execution tracing: nested monotonic-clock spans, named
+    counters, a process-wide registry, a plan-tree renderer and Chrome
+    [trace_event] JSON export.
+
+    The overhead contract: when tracing is disabled (the default), every
+    entry point costs one atomic load and returns — no clock reads, no
+    buffer writes, no formatting.  Argument lists are therefore passed as
+    thunks ([?args]) that are only forced when a span finishes with
+    tracing on.  Instrumentation sits at partition/stage granularity,
+    never per row, so even the call-site closure allocations are
+    negligible (see DESIGN.md "Observability"). *)
+
+val now_ns : unit -> int
+(** Monotonic clock, nanoseconds since an arbitrary origin. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val span : ?args:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()]; with tracing enabled it records a span
+    covering the call, parented under the innermost open span of the
+    current domain.  [args] is forced once, when the span finishes.  The
+    span is closed (and recorded) even if [f] raises. *)
+
+val annotate : (string * string) list -> unit
+(** Append key/value arguments to the innermost open span of the current
+    domain.  No-op when tracing is disabled or no span is open. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Find-or-create the counter registered under this name.  Counters
+      are process-wide; [make] at module-initialisation time is free. *)
+
+  val name : t -> string
+
+  val add : t -> int -> unit
+  (** Gated: no-op while tracing is disabled. *)
+
+  val add_always : t -> int -> unit
+  (** Ungated: for statistics that must stay on regardless of tracing
+      (e.g. the OVC merge stats asserted by benches and tests). *)
+
+  val incr : t -> unit
+  val value : t -> int
+  val set : t -> int -> unit
+
+  val snapshot : unit -> (string * int) list
+  (** All registered counters with their current values, sorted by name. *)
+
+  val reset_all : unit -> unit
+end
+
+type span = {
+  id : int;
+  parent : int;  (** -1 for roots *)
+  name : string;
+  tid : int;  (** domain id *)
+  t0_ns : int;
+  mutable dur_ns : int;
+  mutable args : (string * string) list;
+}
+
+type trace = {
+  spans : span list;  (** in start order: parents precede children *)
+  counters : (string * int) list;  (** non-zero registered counters *)
+  dropped : int;  (** spans lost to the bounded buffer *)
+}
+
+val capture : unit -> trace
+val reset : unit -> unit
+(** Clear the span buffer and zero every registered counter. *)
+
+val with_capture : (unit -> 'a) -> 'a * trace
+(** [with_capture f]: reset, enable, run [f], capture, restore the
+    previous enabled state.  The trace contains exactly the spans and
+    counter increments of this run. *)
+
+val totals : trace -> (string * (int * float)) list
+(** Per span name, in first-appearance order: (count, total seconds).
+    Nested spans of the same name double-count; intended for flat phase
+    breakdowns like [bench/profile.ml]. *)
+
+val render : trace -> string
+(** Plan-tree rendering: spans indented under their parents, sibling
+    spans with identical (name, args) aggregated into one [xN] line, a
+    trailing counter table.  Times (and [_ns]-suffixed counters) print as
+    ["%.3f ms"] so tests can mask them with a regexp. *)
+
+val to_chrome_json : trace -> string
+(** Chrome [trace_event] JSON (open in chrome://tracing or Perfetto):
+    spans as ph="X" complete events with tid = domain id, counters as a
+    final ph="C" event. *)
+
+val write_chrome_trace : string -> trace -> unit

@@ -1,0 +1,17 @@
+/* Monotonic clock for the observability layer.
+
+   OCaml 5.1's bundled Unix library has no clock_gettime binding, and we
+   must not pay the float boxing of Unix.gettimeofday on the span fast
+   path, so this stub returns CLOCK_MONOTONIC nanoseconds as an unboxed
+   OCaml int.  62 bits of nanoseconds is ~146 years of uptime, so Val_long
+   truncation is not a concern. */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+
+value holistic_obs_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

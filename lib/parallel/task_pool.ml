@@ -1,4 +1,16 @@
+module Obs = Holistic_obs.Obs
+
 let default_task_size = 20_000
+
+(* Registered observability counters (process-wide, shared by all pools).
+   [Obs.Counter.add] is gated on tracing being enabled, so the disabled
+   path pays nothing beyond the branch inside [exec]. *)
+let c_tasks = Obs.Counter.make "pool.tasks"
+let c_busy = Obs.Counter.make "pool.busy_ns"
+let c_wait = Obs.Counter.make "pool.wait_ns"
+let c_queue_wait = Obs.Counter.make "pool.queue_wait_ns"
+
+type worker_stat = { mutable tasks : int; mutable busy_ns : int; mutable wait_ns : int }
 
 type shared = {
   mutex : Mutex.t;
@@ -10,23 +22,56 @@ type shared = {
   mutable stop : bool;
 }
 
-type t = { shared : shared; workers : unit Domain.t array; n : int; mutable alive : bool }
+type t = {
+  shared : shared;
+  workers : unit Domain.t array;
+  n : int;
+  stats : worker_stat array; (* index 0 = the caller, 1..n-1 = worker domains *)
+  mutable alive : bool;
+}
 
-let worker_loop shared =
+let record_error shared e =
+  Mutex.lock shared.mutex;
+  if shared.first_error = None then shared.first_error <- Some e;
+  Mutex.unlock shared.mutex
+
+(* Run one task, capturing its error into the batch; with tracing on,
+   also charge its wall time to the executing worker's stat record and
+   the global pool counters.  Task granularity is coarse (thousands of
+   rows), so two clock reads per task are noise. *)
+let exec shared stat task =
+  if Obs.enabled () then begin
+    let t0 = Obs.now_ns () in
+    (try task () with e -> record_error shared e);
+    let d = Obs.now_ns () - t0 in
+    stat.tasks <- stat.tasks + 1;
+    stat.busy_ns <- stat.busy_ns + d;
+    Obs.Counter.add c_tasks 1;
+    Obs.Counter.add c_busy d
+  end
+  else try task () with e -> record_error shared e
+
+let worker_loop shared stat =
   let rec loop () =
     Mutex.lock shared.mutex;
-    while Queue.is_empty shared.queue && not shared.stop do
-      Condition.wait shared.work_available shared.mutex
-    done;
+    if Obs.enabled () && Queue.is_empty shared.queue && not shared.stop then begin
+      let t0 = Obs.now_ns () in
+      while Queue.is_empty shared.queue && not shared.stop do
+        Condition.wait shared.work_available shared.mutex
+      done;
+      let d = Obs.now_ns () - t0 in
+      stat.wait_ns <- stat.wait_ns + d;
+      Obs.Counter.add c_wait d
+    end
+    else
+      while Queue.is_empty shared.queue && not shared.stop do
+        Condition.wait shared.work_available shared.mutex
+      done;
     if shared.stop && Queue.is_empty shared.queue then Mutex.unlock shared.mutex
     else begin
       let task = Queue.pop shared.queue in
       Mutex.unlock shared.mutex;
-      (try task ()
-       with e ->
-         Mutex.lock shared.mutex;
-         if shared.first_error = None then shared.first_error <- Some e;
-         Mutex.unlock shared.mutex);
+      exec shared stat task;
       Mutex.lock shared.mutex;
       shared.pending <- shared.pending - 1;
       if shared.pending = 0 then Condition.broadcast shared.batch_done;
@@ -49,13 +94,25 @@ let create n =
       stop = false;
     }
   in
+  let stats = Array.init n (fun _ -> { tasks = 0; busy_ns = 0; wait_ns = 0 }) in
   let workers =
     if n = 1 then [||]
-    else Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop shared))
+    else Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_loop shared stats.(i + 1)))
   in
-  { shared; workers; n; alive = true }
+  { shared; workers; n; stats; alive = true }
 
 let size t = t.n
+
+let worker_stats t =
+  Array.map (fun s -> { tasks = s.tasks; busy_ns = s.busy_ns; wait_ns = s.wait_ns }) t.stats
+
+let reset_stats t =
+  Array.iter
+    (fun s ->
+      s.tasks <- 0;
+      s.busy_ns <- 0;
+      s.wait_ns <- 0)
+    t.stats
 
 let shutdown t =
   if t.alive then begin
@@ -68,24 +125,33 @@ let shutdown t =
     Array.iter Domain.join t.workers
   end
 
-let run_list_serial tasks =
-  let first_error = ref None in
-  List.iter
-    (fun task ->
-      try task () with e -> if !first_error = None then first_error := Some e)
-    tasks;
-  match !first_error with None -> () | Some e -> raise e
+(* With tracing on, tasks are wrapped at submission so the delay between
+   enqueue and first instruction is charged to pool.queue_wait_ns. *)
+let stamp_queue_wait task =
+  if not (Obs.enabled ()) then task
+  else begin
+    let t_enq = Obs.now_ns () in
+    fun () ->
+      Obs.Counter.add c_queue_wait (Obs.now_ns () - t_enq);
+      task ()
+  end
 
 let run_list t tasks =
-  if t.n = 1 then run_list_serial tasks
+  let s = t.shared in
+  if t.n = 1 then begin
+    s.first_error <- None;
+    List.iter (fun task -> exec s t.stats.(0) task) tasks;
+    let err = s.first_error in
+    s.first_error <- None;
+    match err with None -> () | Some e -> raise e
+  end
   else begin
-    let s = t.shared in
     Mutex.lock s.mutex;
     s.first_error <- None;
     List.iter
       (fun task ->
         s.pending <- s.pending + 1;
-        Queue.push task s.queue)
+        Queue.push (stamp_queue_wait task) s.queue)
       tasks;
     Condition.broadcast s.work_available;
     (* The caller helps drain the queue instead of blocking idly. *)
@@ -93,11 +159,7 @@ let run_list t tasks =
       if not (Queue.is_empty s.queue) then begin
         let task = Queue.pop s.queue in
         Mutex.unlock s.mutex;
-        (try task ()
-         with e ->
-           Mutex.lock s.mutex;
-           if s.first_error = None then s.first_error <- Some e;
-           Mutex.unlock s.mutex);
+        exec s t.stats.(0) task;
         Mutex.lock s.mutex;
         s.pending <- s.pending - 1;
         if s.pending = 0 then Condition.broadcast s.batch_done;

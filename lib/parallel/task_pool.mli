@@ -35,5 +35,18 @@ val default : unit -> t
 (** A process-wide pool sized to [Domain.recommended_domain_count ()],
     created on first use. *)
 
+type worker_stat = { mutable tasks : int; mutable busy_ns : int; mutable wait_ns : int }
+(** Per-worker execution statistics, populated only while
+    {!Holistic_obs.Obs} tracing is enabled: tasks executed, wall time
+    inside tasks, and time spent blocked waiting for work. *)
+
+val worker_stats : t -> worker_stat array
+(** A copy of the per-worker statistics. Index 0 is the submitting caller
+    (which helps drain the queue); indices 1..n-1 are the worker domains.
+    Reading while a batch is in flight may observe slightly stale values
+    for other domains; quiescent reads are exact. *)
+
+val reset_stats : t -> unit
+
 val default_task_size : int
 (** The paper's fixed task granularity: 20_000 tuples (§5.5). *)

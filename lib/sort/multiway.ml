@@ -1,4 +1,5 @@
 module Bs = Holistic_util.Binary_search
+module Obs = Holistic_obs.Obs
 
 type run = { lo : int; hi : int }
 
@@ -148,13 +149,13 @@ let compare_positions mw =
    settled by the codes alone, [scanned] compares that had to read key
    words. Accumulated locally per merge and flushed once, so parallel
    segment merges do not contend. *)
-let ovc_decided_count = Atomic.make 0
-let ovc_scanned_count = Atomic.make 0
-let ovc_stats () = (Atomic.get ovc_decided_count, Atomic.get ovc_scanned_count)
+let ovc_decided_count = Obs.Counter.make "sort.ovc_decided"
+let ovc_scanned_count = Obs.Counter.make "sort.ovc_scanned"
+let ovc_stats () = (Obs.Counter.value ovc_decided_count, Obs.Counter.value ovc_scanned_count)
 
 let reset_ovc_stats () =
-  Atomic.set ovc_decided_count 0;
-  Atomic.set ovc_scanned_count 0
+  Obs.Counter.set ovc_decided_count 0;
+  Obs.Counter.set ovc_scanned_count 0
 
 (* K-way merge as a tree of losers carrying offset-value codes (Do &
    Graefe, "Robust and Efficient Sorting with Offset-Value Coding").
@@ -311,8 +312,8 @@ let merge_multiword ~mw ~runs ~dst_key0 ~dst_payload ~dst_pos =
       done;
       winner := !cur
     done;
-    ignore (Atomic.fetch_and_add ovc_decided_count !decided);
-    ignore (Atomic.fetch_and_add ovc_scanned_count !scanned)
+    Obs.Counter.add_always ovc_decided_count !decided;
+    Obs.Counter.add_always ovc_scanned_count !scanned
   end
 
 let lower_bound_by ~less ~lo ~hi pivot =

@@ -70,7 +70,10 @@ val merge_multiword :
 val ovc_stats : unit -> int * int
 (** [(decided, scanned)] cumulative counts of OVC merge comparisons
     settled by codes alone vs needing a key-word scan, across all merges
-    (and domains) since the last {!reset_ovc_stats}. *)
+    (and domains) since the last {!reset_ovc_stats}. Backed by the
+    registered {!Holistic_obs.Obs.Counter}s [sort.ovc_decided] /
+    [sort.ovc_scanned] (always on, independent of tracing), so they also
+    appear in captured traces and EXPLAIN ANALYZE output. *)
 
 val reset_ovc_stats : unit -> unit
 

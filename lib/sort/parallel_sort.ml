@@ -1,4 +1,5 @@
 open Holistic_parallel
+module Obs = Holistic_obs.Obs
 
 let sort_runs pool ?(task_size = Task_pool.default_task_size) ~key ~payload () =
   let n = Array.length key in
@@ -8,17 +9,25 @@ let sort_runs pool ?(task_size = Task_pool.default_task_size) ~key ~payload () =
     Array.init nruns (fun r ->
         { Multiway.lo = r * task_size; hi = min n ((r + 1) * task_size) })
   in
-  Task_pool.run_list pool
-    (Array.to_list
-       (Array.map
-          (fun { Multiway.lo; hi } ->
-            fun () -> Introsort.sort_pairs_range ~key ~payload ~lo ~hi)
-          runs));
+  Obs.span "sort.runs"
+    ~args:(fun () -> [ ("n", string_of_int n); ("runs", string_of_int nruns) ])
+    (fun () ->
+      Task_pool.run_list pool
+        (Array.to_list
+           (Array.map
+              (fun { Multiway.lo; hi } ->
+                fun () -> Introsort.sort_pairs_range ~key ~payload ~lo ~hi)
+              runs)));
   runs
 
 let merge_runs pool ~key ~payload ~runs =
   let total = Multiway.total_length runs in
-  if Array.length runs > 1 then begin
+  if Array.length runs > 1 then
+    Obs.span "sort.merge"
+      ~args:(fun () ->
+        [ ("n", string_of_int total); ("runs", string_of_int (Array.length runs)) ])
+    @@ fun () ->
+    begin
     let scratch_key = Array.make total 0 in
     let scratch_payload = Array.make total 0 in
     let segments = max 1 (Task_pool.size pool) in
@@ -66,13 +75,20 @@ let sort_multiword pool ?task_size ~mw () =
   let runs =
     Array.init nruns (fun r -> { Multiway.lo = r * task_size; hi = min n ((r + 1) * task_size) })
   in
-  Task_pool.run_list pool
-    (Array.to_list
-       (Array.map
-          (fun { Multiway.lo; hi } ->
-            fun () -> Introsort.sort_pairs_tie_range ~key:key0 ~payload ~tie ~lo ~hi)
-          runs));
-  if nruns > 1 then begin
+  Obs.span "sort.runs"
+    ~args:(fun () -> [ ("n", string_of_int n); ("runs", string_of_int nruns) ])
+    (fun () ->
+      Task_pool.run_list pool
+        (Array.to_list
+           (Array.map
+              (fun { Multiway.lo; hi } ->
+                fun () -> Introsort.sort_pairs_tie_range ~key:key0 ~payload ~tie ~lo ~hi)
+              runs)));
+  if nruns > 1 then
+    Obs.span "sort.merge"
+      ~args:(fun () -> [ ("n", string_of_int n); ("runs", string_of_int nruns) ])
+    @@ fun () ->
+    begin
     let scratch_key = Array.make n 0 in
     let scratch_payload = Array.make n 0 in
     let segments = max 1 (Task_pool.size pool) in

@@ -1,5 +1,6 @@
 open Holistic_storage
 open Holistic_window
+module Obs = Holistic_obs.Obs
 module Wf = Window_func
 
 exception Error of string
@@ -270,12 +271,22 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ~tables (q : Ast.query) =
     match q.Ast.where with
     | None -> table
     | Some pred ->
-        let f = Expr.compile table (lower_expr table pred) in
-        let keep = ref [] in
-        for i = Table.nrows table - 1 downto 0 do
-          if Expr.to_bool (f i) then keep := i :: !keep
-        done;
-        Table.gather table (Array.of_list !keep)
+        let before = Table.nrows table in
+        let kept = ref 0 in
+        let filtered =
+          Obs.span "sql.where"
+            ~args:(fun () -> [ ("in", string_of_int before); ("out", string_of_int !kept) ])
+            (fun () ->
+              let f = Expr.compile table (lower_expr table pred) in
+              let keep = ref [] in
+              for i = before - 1 downto 0 do
+                if Expr.to_bool (f i) then keep := i :: !keep
+              done;
+              let keep = Array.of_list !keep in
+              kept := Array.length keep;
+              Table.gather table keep)
+        in
+        filtered
   in
   (* name each select item *)
   let used = Hashtbl.create 16 in
@@ -337,10 +348,15 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ~tables (q : Ast.query) =
   in
   let with_windows =
     if clauses = [] then table
-    else Window_plan.run ?pool ?fanout ?sample ?task_size table clauses
+    else
+      Obs.span "sql.window" (fun () ->
+          Window_plan.run ?pool ?fanout ?sample ?task_size table clauses)
   in
   (* projection: base columns for window outputs, fresh columns for exprs *)
   let out_columns =
+    Obs.span "sql.project"
+      ~args:(fun () -> [ ("columns", string_of_int (List.length items)) ])
+    @@ fun () ->
     List.map
       (fun (name, v) ->
         match v with
@@ -357,7 +373,11 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ~tables (q : Ast.query) =
      reference any base column *)
   let result =
     if q.Ast.order_by = [] then result
-    else begin
+    else
+      Obs.span "sql.order_by"
+        ~args:(fun () -> [ ("rows", string_of_int (Table.nrows result)) ])
+      @@ fun () ->
+      begin
       let sources =
         List.concat_map
           (fun (k : Ast.order_key) ->

@@ -120,9 +120,7 @@ let print_query (q : Ast.query) =
     @ (if q.Ast.order_by = [] then [] else [ " order by "; order_to_string q.Ast.order_by ])
     @ match q.Ast.limit with Some k -> [ Printf.sprintf " limit %d" k ] | None -> [])
 
-let explain src =
-  match Parser.parse src with
-  | q ->
+let explain_ast q =
       let b = Buffer.create 256 in
       Buffer.add_string b (Printf.sprintf "from: %s\n" q.Ast.from);
       (match q.Ast.where with
@@ -156,3 +154,36 @@ let explain src =
       | Some k -> Buffer.add_string b (Printf.sprintf "limit: %d\n" k)
       | None -> ());
       Buffer.contents b
+
+let explain src = explain_ast (Parser.parse src)
+
+(* EXPLAIN ANALYZE: run the query under {!Holistic_obs.Obs.with_capture}
+   and render the captured span tree and counters under the static plan
+   description. Everything time-valued prints as "%.3f ms" so tests can
+   mask it; structure, row counts and counters are deterministic for a
+   given pool size. *)
+let explain_analyze ?pool ?fanout ?sample ?task_size ?algorithm ~tables src =
+  let ast =
+    try Parser.parse src with Parser.Error (msg, off) -> raise (Parse_error (msg, off))
+  in
+  let result, trace =
+    Holistic_obs.Obs.with_capture (fun () ->
+        Holistic_obs.Obs.span "sql.query" (fun () ->
+            try Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ~tables ast
+            with Planner.Error msg -> raise (Semantic_error msg)))
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (explain_ast ast);
+  Buffer.add_string b
+    (Printf.sprintf "rows: %d\n" (Holistic_storage.Table.nrows result));
+  Buffer.add_string b (Holistic_obs.Obs.render trace);
+  (result, Buffer.contents b)
+
+let explain_analyze_trace ?pool ?fanout ?sample ?task_size ?algorithm ~tables src =
+  let ast =
+    try Parser.parse src with Parser.Error (msg, off) -> raise (Parse_error (msg, off))
+  in
+  Holistic_obs.Obs.with_capture (fun () ->
+      Holistic_obs.Obs.span "sql.query" (fun () ->
+          try Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ~tables ast
+          with Planner.Error msg -> raise (Semantic_error msg)))

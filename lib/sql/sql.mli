@@ -35,6 +35,36 @@ val explain : string -> string
 (** Parses the statement and renders the recognised structure (for the CLI
     and tests). *)
 
+val explain_analyze :
+  ?pool:Holistic_parallel.Task_pool.t ->
+  ?fanout:int ->
+  ?sample:int ->
+  ?task_size:int ->
+  ?algorithm:Holistic_window.Window_func.algorithm ->
+  tables:(string * Table.t) list ->
+  string ->
+  Table.t * string
+(** EXPLAIN ANALYZE: executes the statement with {!Holistic_obs.Obs}
+    tracing captured around it and returns the result together with a
+    report — the {!explain} plan description followed by the executed span
+    tree (per-stage wall time, sort kind/path provenance, rows, partitions,
+    per-item evaluation) and the non-zero counters (cache hits/misses,
+    plan sharing statistics, OVC merge decisions, pool activity). Wall
+    times print as ["%.3f ms"]; on a 1-domain [pool] everything else is
+    deterministic. The previous tracing state is restored afterwards. *)
+
+val explain_analyze_trace :
+  ?pool:Holistic_parallel.Task_pool.t ->
+  ?fanout:int ->
+  ?sample:int ->
+  ?task_size:int ->
+  ?algorithm:Holistic_window.Window_func.algorithm ->
+  tables:(string * Table.t) list ->
+  string ->
+  Table.t * Holistic_obs.Obs.trace
+(** Like {!explain_analyze} but returning the raw captured trace, e.g. for
+    {!Holistic_obs.Obs.write_chrome_trace}. *)
+
 val print_query : Ast.query -> string
 (** Renders a query AST back to SQL text; [parse (print_query q)] yields a
     query equal to [q] (the parser round-trip property checked by the test

@@ -13,6 +13,16 @@ let nulls_last_flag key =
   | Nulls_default, Asc -> true
   | Nulls_default, Desc -> false
 
+let key_to_string key =
+  Expr.to_string key.expr
+  ^ (match key.direction with Asc -> "" | Desc -> " desc")
+  ^ match key.nulls with
+    | Nulls_default -> ""
+    | Nulls_first -> " nulls first"
+    | Nulls_last -> " nulls last"
+
+let to_string spec = String.concat ", " (List.map key_to_string spec)
+
 let key_comparator table key =
   let f = Expr.compile table key.expr in
   let nulls_last = nulls_last_flag key in

@@ -14,6 +14,11 @@ type t = key list
 val asc : ?nulls:nulls_order -> Expr.t -> key
 val desc : ?nulls:nulls_order -> Expr.t -> key
 
+val key_to_string : key -> string
+
+val to_string : t -> string
+(** SQL-ish rendering ("x desc nulls first, y") for plans and traces. *)
+
 val nulls_last_flag : key -> bool
 (** Resolved NULL placement: [Nulls_default] means LAST for ASC, FIRST for
     DESC (the SQL default). *)

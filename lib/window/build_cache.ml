@@ -1,4 +1,5 @@
 open Holistic_storage
+module Obs = Holistic_obs.Obs
 module Mstw = Holistic_core.Mst_width
 module Annotated = Holistic_core.Annotated_mst
 module Rank_encode = Holistic_core.Rank_encode
@@ -108,48 +109,65 @@ let create ?counters () =
 
 let counters t = t.counters
 
-let memo tbl key build =
+(* Cache-wide observability: hits and misses across every accessor, and a
+   [build] span (tagged with the structure kind) around each miss, so
+   EXPLAIN ANALYZE shows what was constructed vs shared. *)
+let c_hit = Obs.Counter.make "cache.hit"
+let c_miss = Obs.Counter.make "cache.miss"
+
+let memo ~kind tbl key build =
   match Hashtbl.find_opt tbl key with
-  | Some v -> v
+  | Some v ->
+      Obs.Counter.incr c_hit;
+      v
   | None ->
-      let v = build () in
+      Obs.Counter.incr c_miss;
+      let v = Obs.span "build" ~args:(fun () -> [ ("kind", kind) ]) build in
       Hashtbl.add tbl key v;
       v
 
-let memo_tree tbl counters key build =
+let memo_tree ~kind tbl counters key build =
   match Hashtbl.find_opt tbl key with
-  | Some v -> v
+  | Some v ->
+      Obs.Counter.incr c_hit;
+      v
   | None ->
-      let v = build () in
+      Obs.Counter.incr c_miss;
+      let v = Obs.span "build" ~args:(fun () -> [ ("kind", kind) ]) build in
       counters.tree_builds <- counters.tree_builds + 1;
       Hashtbl.add tbl key v;
       v
 
 let encode t ~order build =
   match Hashtbl.find_opt t.encodes order with
-  | Some e -> e
+  | Some e ->
+      Obs.Counter.incr c_hit;
+      e
   | None ->
-      let e = build () in
+      Obs.Counter.incr c_miss;
+      let e = Obs.span "build" ~args:(fun () -> [ ("kind", "encode") ]) build in
       t.counters.encode_builds <- t.counters.encode_builds + 1;
       Hashtbl.add t.encodes order e;
       e
 
-let remap t ~qual build = memo t.remaps qual build
-let peers t ~order build = memo t.peers order build
+let remap t ~qual build = memo ~kind:"remap" t.remaps qual build
+let peers t ~order build = memo ~kind:"peers" t.peers order build
 
 let count_tree t ~cls ~order ~qual ~sample build =
-  memo_tree t.count_trees t.counters (cls, order, qual, sample) build
+  let kind = match cls with Rank_codes -> "mst.rank" | Row_codes -> "mst.row" | Select_perm -> "mst.select" in
+  memo_tree ~kind t.count_trees t.counters (cls, order, qual, sample) build
 
 let range_tree t ~order ~qual ~sample build =
-  memo_tree t.range_trees t.counters (order, qual, sample) build
+  memo_tree ~kind:"range_tree" t.range_trees t.counters (order, qual, sample) build
 
-let arg_ids t ~arg ~qual build = memo t.arg_ids (arg, qual) build
-let prev_array t ~arg ~qual build = memo t.prev_arrays (arg, qual) build
+let arg_ids t ~arg ~qual build = memo ~kind:"arg_ids" t.arg_ids (arg, qual) build
+let prev_array t ~arg ~qual build = memo ~kind:"prev" t.prev_arrays (arg, qual) build
 
 let distinct_tree t ~arg ~qual ~sample build =
-  memo_tree t.distinct_trees t.counters (arg, qual, sample) build
+  memo_tree ~kind:"mst.distinct" t.distinct_trees t.counters (arg, qual, sample) build
 
 let annotated_tree t ~arg ~qual ~sample build =
-  memo_tree t.annotated_trees t.counters (arg, qual, sample) build
+  memo_tree ~kind:"mst.annotated" t.annotated_trees t.counters (arg, qual, sample) build
 
-let seg_tree t ~cls ~arg ~qual build = memo_tree t.seg_trees t.counters (cls, arg, qual) build
+let seg_tree t ~cls ~arg ~qual build =
+  memo_tree ~kind:"segment_tree" t.seg_trees t.counters (cls, arg, qual) build

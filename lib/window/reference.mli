@@ -1,0 +1,17 @@
+(** Naive, comparator-driven re-implementation of the window pipeline — the
+    differential-testing oracle.
+
+    [run] evaluates the same clause list as {!Window_plan.run} using per-row
+    linear scans only: hash-bucket partitioning, [Sort_spec.comparator]
+    sorts, linear-scan frames and from-first-principles function
+    evaluation. It shares none of the machinery under test (key codecs,
+    normalized-key sorts, OVC merging, rank encodings, index trees, the
+    build cache) — except {!Window_plan.schedule}, deliberately, because
+    stage assignment is observable through ROWS frames under ties and the
+    oracle must sort by the same stage orders the plan picks. *)
+
+open Holistic_storage
+
+val run : Table.t -> Window_plan.clause list -> (string * Value.t array) list
+(** [run table clauses] returns, for every item of every clause in order,
+    its output column as [(item name, values at original row indices)]. *)

@@ -99,3 +99,31 @@ let lead ?filter ?algorithm ?ignore_nulls ?order ?(offset = 1) ?default ~name ar
 
 let lag ?filter ?algorithm ?ignore_nulls ?order ?(offset = 1) ?default ~name arg =
   make ?filter ?algorithm ~name (Lag (offset, default, value_func ?ignore_nulls ?order arg))
+
+let class_name t =
+  match t.func with
+  | Aggregate { kind; distinct; _ } ->
+      let base =
+        match kind with
+        | Count_star -> "count(*)"
+        | Count -> "count"
+        | Sum -> "sum"
+        | Avg -> "avg"
+        | Min -> "min"
+        | Max -> "max"
+      in
+      if distinct then base ^ " distinct" else base
+  | Rank _ -> "rank"
+  | Dense_rank _ -> "dense_rank"
+  | Row_number _ -> "row_number"
+  | Percent_rank _ -> "percent_rank"
+  | Cume_dist _ -> "cume_dist"
+  | Ntile _ -> "ntile"
+  | Percentile_disc _ -> "percentile_disc"
+  | Percentile_cont _ -> "percentile_cont"
+  | First_value _ -> "first_value"
+  | Last_value _ -> "last_value"
+  | Nth_value _ -> "nth_value"
+  | Lead _ -> "lead"
+  | Lag _ -> "lag"
+  | Mode _ -> "mode"

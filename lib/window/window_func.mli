@@ -106,3 +106,7 @@ val lead :
 val lag :
   ?filter:Expr.t -> ?algorithm:algorithm -> ?ignore_nulls:bool -> ?order:Sort_spec.t ->
   ?offset:int -> ?default:Expr.t -> name:string -> Expr.t -> t
+
+val class_name : t -> string
+(** The function class as a short lower-case label ("rank",
+    "percentile_disc", "sum distinct", ...), for traces and EXPLAIN. *)

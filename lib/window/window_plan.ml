@@ -1,4 +1,5 @@
 open Holistic_storage
+module Obs = Holistic_obs.Obs
 module Task_pool = Holistic_parallel.Task_pool
 module Introsort = Holistic_sort.Introsort
 module Multiway = Holistic_sort.Multiway
@@ -197,9 +198,71 @@ let stage_orders orders =
   let uniq = dedup_orders orders in
   List.filter (fun o -> not (List.exists (fun o' -> o' <> o && order_prefix o o') uniq)) uniq
 
+(* The scheduling policy, factored out so that reference implementations
+   (the differential fuzz oracle) can reproduce the engine's stage
+   assignment — a clause whose ORDER BY is a strict prefix of another's is
+   evaluated under the longer stage sort, which is observable through
+   ROWS frames under ties — without depending on how stages are sorted or
+   evaluated.  [schedule_by] is the generic core: entries carry a payload
+   alongside their clause so [run_with_stats] can thread output arrays
+   through unchanged. *)
+let schedule_by (get : 'a -> clause) (entries : 'a list) :
+    (Expr.t list * (Sort_spec.t * 'a list) list) list =
+  let pgroups =
+    List.fold_left
+      (fun acc entry ->
+        let pb = (get entry).spec.Window_spec.partition_by in
+        match List.find_opt (fun (pb', _) -> pb' = pb) acc with
+        | Some (_, members) ->
+            members := entry :: !members;
+            acc
+        | None -> acc @ [ (pb, ref [ entry ]) ])
+      [] entries
+  in
+  List.map
+    (fun (pb, members) ->
+      let members = List.rev !members in
+      let orders =
+        stage_orders (List.map (fun e -> (get e).spec.Window_spec.order_by) members)
+      in
+      (* first covering stage per clause, preserving member order in a stage *)
+      let stage_members order =
+        List.filter
+          (fun e ->
+            let co = (get e).spec.Window_spec.order_by in
+            match List.find_opt (fun o -> order_prefix co o) orders with
+            | Some first -> first == order
+            | None -> assert false)
+          members
+      in
+      (pb, List.map (fun o -> (o, stage_members o)) orders))
+    pgroups
+
+type stage = { order : Sort_spec.t; members : clause list }
+type group = { partition_by : Expr.t list; stages : stage list }
+
+let schedule clauses =
+  List.map
+    (fun (pb, stages) ->
+      {
+        partition_by = pb;
+        stages = List.map (fun (o, ms) -> { order = o; members = ms }) stages;
+      })
+    (schedule_by (fun c -> c) clauses)
+
 (* ------------------------------------------------------------------ *)
 (* The plan                                                            *)
 (* ------------------------------------------------------------------ *)
+
+(* Registered plan counters, mirroring [stats] in captured traces. *)
+let c_stages = Obs.Counter.make "plan.stages"
+let c_partition_passes = Obs.Counter.make "plan.partition_passes"
+let c_full_sorts = Obs.Counter.make "plan.full_sorts"
+let c_partial_sorts = Obs.Counter.make "plan.partial_sorts"
+let c_reused_sorts = Obs.Counter.make "plan.reused_sorts"
+let c_comparator_sorts = Obs.Counter.make "plan.comparator_sorts"
+
+let exprs_to_string exprs = String.concat ", " (List.map Expr.to_string exprs)
 
 let order_permutation ?pool table ~over =
   let pool = match pool with Some p -> p | None -> Task_pool.default () in
@@ -222,109 +285,152 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
       (fun c -> (c, List.map (fun (it : Window_func.t) -> (it, Array.make n Value.Null)) c.items))
       clauses
   in
-  (* group clauses by PARTITION BY (structural equality), appearance order *)
-  let pgroups : (Expr.t list * (clause * (Window_func.t * Value.t array) list) list ref) list =
-    List.fold_left
-      (fun acc ((c, _) as entry) ->
-        match List.find_opt (fun (pb, _) -> pb = c.spec.Window_spec.partition_by) acc with
-        | Some (_, members) ->
-            members := entry :: !members;
-            acc
-        | None -> acc @ [ (c.spec.Window_spec.partition_by, ref [ entry ]) ])
-      [] outputs
-  in
-  List.iter
-    (fun (pb, members) ->
-      let members = List.rev !members in
-      let pids = partition_ids pool table pb in
-      incr partition_passes;
-      let orders =
-        stage_orders (List.map (fun (c, _) -> c.spec.Window_spec.order_by) members)
-      in
-      (* first covering stage per clause, preserving member order in a stage *)
-      let stage_members order =
-        List.filter
-          (fun (c, _) ->
-            let co = c.spec.Window_spec.order_by in
-            match List.find_opt (fun o -> order_prefix co o) orders with
-            | Some first -> first == order
-            | None -> assert false)
-          members
-      in
-      let base = ref None in
+  (* group clauses by PARTITION BY (structural equality), appearance
+     order, and assign each to its first covering sort stage *)
+  let pgroups = schedule_by (fun (c, _) -> c) outputs in
+  Obs.span "window_plan"
+    ~args:(fun () ->
+      [ ("rows", string_of_int n); ("clauses", string_of_int (List.length clauses)) ])
+    (fun () ->
       List.iter
-        (fun order ->
-          let smembers = stage_members order in
-          incr n_stages;
-          reused_sorts := !reused_sorts + List.length smembers - 1;
-          let perm, boundaries =
-            match !base with
-            | None ->
-                let perm, b, comp = full_sort pool table ~pids ~order in
-                incr full_sorts;
-                if comp then incr comparator_sorts;
-                base := Some (perm, b);
-                (perm, b)
-            | Some (bperm, bnds) ->
-                if pids = None then begin
-                  (* single global partition: a "partial" re-sort would cover
-                     the whole array anyway, so sort independently and keep
-                     the parallel path *)
-                  incr full_sorts;
-                  let perm, _, comp = full_sort pool table ~pids ~order in
-                  if comp then incr comparator_sorts;
-                  (perm, bnds)
-                end
-                else begin
-                  incr partial_sorts;
-                  let perm, comp = partial_sort table ~base_perm:bperm ~boundaries:bnds ~order in
-                  if comp then incr comparator_sorts;
-                  (perm, bnds)
-                end
+        (fun (pb, stages) ->
+          let pids =
+            Obs.span "partition_ids"
+              ~args:(fun () -> [ ("by", exprs_to_string pb) ])
+              (fun () -> partition_ids pool table pb)
           in
-          for p = 0 to Array.length boundaries - 2 do
-            let plo = boundaries.(p) and phi = boundaries.(p + 1) in
-            if phi > plo then begin
-              (* one row view per (stage, partition), shared by every clause
-                 and item of the stage *)
-              let rows = if plo = 0 && phi = n then perm else Array.sub perm plo (phi - plo) in
-              let cache = Build_cache.create ~counters () in
-              List.iter
-                (fun (c, outs) ->
-                  let spec = c.spec in
-                  let peers =
-                    Build_cache.peers cache ~order:spec.Window_spec.order_by (fun () ->
-                        Frame.peers table spec.Window_spec.order_by rows)
-                  in
-                  let frame = Frame.compute ~peers table ~spec ~rows in
-                  let ctx =
-                    {
-                      Evaluators.table;
-                      pool;
-                      rows;
-                      frame;
-                      window_order = spec.Window_spec.order_by;
-                      fanout;
-                      sample;
-                      task_size;
-                      width;
-                      cache;
-                    }
-                  in
-                  List.iter (fun (item, out) -> Evaluators.eval_item ctx item ~out) outs)
-                smembers
-            end
-          done)
-        orders)
-    pgroups;
+          incr partition_passes;
+          Obs.Counter.incr c_partition_passes;
+          let base = ref None in
+          List.iter
+            (fun (order, smembers) ->
+              incr n_stages;
+              Obs.Counter.incr c_stages;
+              reused_sorts := !reused_sorts + List.length smembers - 1;
+              Obs.Counter.add c_reused_sorts (List.length smembers - 1);
+              let sort_kind = ref "" and sort_comp = ref false in
+              let perm, boundaries =
+                Obs.span "sort"
+                  ~args:(fun () ->
+                    [
+                      ("order", Sort_spec.to_string order);
+                      ("kind", !sort_kind);
+                      ("path", if !sort_comp then "comparator" else "encoded");
+                      ("rows", string_of_int n);
+                    ])
+                  (fun () ->
+                    match !base with
+                    | None ->
+                        let perm, b, comp = full_sort pool table ~pids ~order in
+                        incr full_sorts;
+                        Obs.Counter.incr c_full_sorts;
+                        if comp then begin
+                          incr comparator_sorts;
+                          Obs.Counter.incr c_comparator_sorts
+                        end;
+                        sort_kind := "full";
+                        sort_comp := comp;
+                        base := Some (perm, b);
+                        (perm, b)
+                    | Some (bperm, bnds) ->
+                        if pids = None then begin
+                          (* single global partition: a "partial" re-sort would
+                             cover the whole array anyway, so sort independently
+                             and keep the parallel path *)
+                          incr full_sorts;
+                          Obs.Counter.incr c_full_sorts;
+                          let perm, _, comp = full_sort pool table ~pids ~order in
+                          if comp then begin
+                            incr comparator_sorts;
+                            Obs.Counter.incr c_comparator_sorts
+                          end;
+                          sort_kind := "full(global)";
+                          sort_comp := comp;
+                          (perm, bnds)
+                        end
+                        else begin
+                          incr partial_sorts;
+                          Obs.Counter.incr c_partial_sorts;
+                          let perm, comp =
+                            partial_sort table ~base_perm:bperm ~boundaries:bnds ~order
+                          in
+                          if comp then begin
+                            incr comparator_sorts;
+                            Obs.Counter.incr c_comparator_sorts
+                          end;
+                          sort_kind := "partial";
+                          sort_comp := comp;
+                          (perm, bnds)
+                        end)
+              in
+              Obs.span "eval"
+                ~args:(fun () ->
+                  [
+                    ("order", Sort_spec.to_string order);
+                    ("partitions", string_of_int (Array.length boundaries - 1));
+                  ])
+                (fun () ->
+                  for p = 0 to Array.length boundaries - 2 do
+                    let plo = boundaries.(p) and phi = boundaries.(p + 1) in
+                    if phi > plo then begin
+                      (* one row view per (stage, partition), shared by every
+                         clause and item of the stage *)
+                      let rows =
+                        if plo = 0 && phi = n then perm else Array.sub perm plo (phi - plo)
+                      in
+                      let cache = Build_cache.create ~counters () in
+                      List.iter
+                        (fun (c, outs) ->
+                          let spec = c.spec in
+                          let frame =
+                            Obs.span "frame"
+                              ~args:(fun () ->
+                                [ ("order", Sort_spec.to_string spec.Window_spec.order_by) ])
+                              (fun () ->
+                                let peers =
+                                  Build_cache.peers cache ~order:spec.Window_spec.order_by
+                                    (fun () -> Frame.peers table spec.Window_spec.order_by rows)
+                                in
+                                Frame.compute ~peers table ~spec ~rows)
+                          in
+                          let ctx =
+                            {
+                              Evaluators.table;
+                              pool;
+                              rows;
+                              frame;
+                              window_order = spec.Window_spec.order_by;
+                              fanout;
+                              sample;
+                              task_size;
+                              width;
+                              cache;
+                            }
+                          in
+                          List.iter
+                            (fun ((item : Window_func.t), out) ->
+                              Obs.span "item"
+                                ~args:(fun () ->
+                                  [ ("name", item.name); ("func", Window_func.class_name item) ])
+                                (fun () -> Evaluators.eval_item ctx item ~out))
+                            outs)
+                        smembers
+                    end
+                  done))
+            stages)
+        pgroups);
   let table' =
-    List.fold_left
-      (fun acc (_, outs) ->
+    Obs.span "materialize"
+      ~args:(fun () ->
+        [ ("columns", string_of_int (List.length (List.concat_map snd outputs))) ])
+      (fun () ->
         List.fold_left
-          (fun acc ((item : Window_func.t), out) ->
-            Table.add_column acc item.name (Column.of_values out))
-          acc outs)
-      table outputs
+          (fun acc (_, outs) ->
+            List.fold_left
+              (fun acc ((item : Window_func.t), out) ->
+                Table.add_column acc item.name (Column.of_values out))
+              acc outs)
+          table outputs)
   in
   ( table',
     {

@@ -24,6 +24,22 @@ open Holistic_storage
 
 type clause = { spec : Window_spec.t; items : Window_func.t list }
 
+type stage = { order : Sort_spec.t; members : clause list }
+(** One sort stage: the (prefix-maximal) order it sorts by and the clauses
+    it evaluates, in first-appearance order. *)
+
+type group = { partition_by : Expr.t list; stages : stage list }
+
+val schedule : clause list -> group list
+(** The pure scheduling policy of the plan: partition groups by structural
+    PARTITION BY equality in first-appearance order, each holding its
+    prefix-maximal sort stages with every clause assigned to the first
+    stage whose order covers its own. Exposed because stage assignment is
+    observable (a clause ordered by a prefix of another's is evaluated
+    under the longer stage sort, which ROWS frames see under ties), so
+    reference implementations — e.g. the differential fuzz oracle — must
+    reproduce it exactly. *)
+
 type stats = {
   stages : int;  (** sort stages across all partition groups *)
   partition_passes : int;  (** partition-key computations (= partition groups) *)

@@ -1,0 +1,362 @@
+(* Tests for the observability layer: Obs spans/counters, pool worker
+   statistics, and golden EXPLAIN ANALYZE output (wall times masked). *)
+
+open Holistic_storage
+module Obs = Holistic_obs.Obs
+module Task_pool = Holistic_parallel.Task_pool
+module Sql = Holistic_sql.Sql
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Obs unit tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_now_ns () =
+  let t1 = Obs.now_ns () in
+  let t2 = Obs.now_ns () in
+  Alcotest.(check bool) "monotone" true (t2 >= t1 && t1 > 0)
+
+let test_span_nesting () =
+  let v, tr =
+    Obs.with_capture (fun () ->
+        Obs.span "outer" (fun () ->
+            Obs.span ~args:(fun () -> [ ("k", "v") ]) "inner" (fun () -> ());
+            Obs.span "inner2" (fun () -> ());
+            17))
+  in
+  Alcotest.(check int) "result" 17 v;
+  Alcotest.(check (list string)) "start order"
+    [ "outer"; "inner"; "inner2" ]
+    (List.map (fun (s : Obs.span) -> s.name) tr.Obs.spans);
+  let find name = List.find (fun (s : Obs.span) -> s.Obs.name = name) tr.Obs.spans in
+  let outer = find "outer" and inner = find "inner" in
+  Alcotest.(check int) "outer is root" (-1) outer.Obs.parent;
+  Alcotest.(check int) "inner under outer" outer.Obs.id inner.Obs.parent;
+  Alcotest.(check (list (pair string string))) "args forced" [ ("k", "v") ] inner.Obs.args;
+  Alcotest.(check bool) "durations set" true
+    (List.for_all (fun (s : Obs.span) -> s.Obs.dur_ns >= 0) tr.Obs.spans)
+
+let test_disabled_noop () =
+  Obs.reset ();
+  Obs.disable ();
+  let forced = ref false in
+  let v =
+    Obs.span
+      ~args:(fun () ->
+        forced := true;
+        [])
+      "off" (fun () -> 3)
+  in
+  Alcotest.(check int) "value passes through" 3 v;
+  Alcotest.(check bool) "args thunk never forced" false !forced;
+  let tr = Obs.capture () in
+  Alcotest.(check int) "no spans recorded" 0 (List.length tr.Obs.spans)
+
+let test_exception_closes_span () =
+  let (), tr =
+    Obs.with_capture (fun () ->
+        (try Obs.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+        Obs.span "after" (fun () -> ()))
+  in
+  let find name = List.find (fun (s : Obs.span) -> s.Obs.name = name) tr.Obs.spans in
+  Alcotest.(check bool) "boom recorded, closed" true ((find "boom").Obs.dur_ns >= 0);
+  Alcotest.(check int) "stack not corrupted: after is a root" (-1) (find "after").Obs.parent
+
+let test_annotate () =
+  let (), tr =
+    Obs.with_capture (fun () -> Obs.span "s" (fun () -> Obs.annotate [ ("note", "here") ]))
+  in
+  let s = List.hd tr.Obs.spans in
+  Alcotest.(check bool) "annotation attached" true (List.mem_assoc "note" s.Obs.args)
+
+let test_counters () =
+  let c = Obs.Counter.make "test.gated" in
+  Obs.reset ();
+  Obs.disable ();
+  Obs.Counter.add c 5;
+  Alcotest.(check int) "gated add is a no-op when disabled" 0 (Obs.Counter.value c);
+  Obs.Counter.add_always c 5;
+  Alcotest.(check int) "add_always counts when disabled" 5 (Obs.Counter.value c);
+  Obs.enable ();
+  Obs.Counter.incr c;
+  Obs.disable ();
+  Alcotest.(check int) "gated add counts when enabled" 6 (Obs.Counter.value c);
+  Alcotest.(check bool) "registered in snapshot" true
+    (List.mem ("test.gated", 6) (Obs.Counter.snapshot ()));
+  Alcotest.(check bool) "same name, same counter" true
+    (Obs.Counter.value (Obs.Counter.make "test.gated") = 6);
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Counter.value c)
+
+let test_with_capture_restores () =
+  Obs.disable ();
+  let (), _ = Obs.with_capture (fun () -> Alcotest.(check bool) "on inside" true (Obs.enabled ())) in
+  Alcotest.(check bool) "off restored" false (Obs.enabled ());
+  Obs.enable ();
+  let (), _ = Obs.with_capture (fun () -> ()) in
+  Alcotest.(check bool) "on restored" true (Obs.enabled ());
+  Obs.disable ()
+
+let test_totals () =
+  let (), tr =
+    Obs.with_capture (fun () ->
+        Obs.span "a" (fun () -> ());
+        Obs.span "b" (fun () -> ());
+        Obs.span "a" (fun () -> ()))
+  in
+  match Obs.totals tr with
+  | [ ("a", (2, sa)); ("b", (1, sb)) ] ->
+      Alcotest.(check bool) "non-negative seconds" true (sa >= 0.0 && sb >= 0.0)
+  | other ->
+      Alcotest.failf "unexpected totals: %s"
+        (String.concat "; " (List.map (fun (n, (c, _)) -> Printf.sprintf "%s/%d" n c) other))
+
+let test_render_aggregates () =
+  let (), tr =
+    Obs.with_capture (fun () ->
+        Obs.span "p" (fun () ->
+            Obs.span "c" (fun () -> ());
+            Obs.span "c" (fun () -> ())))
+  in
+  let r = Obs.render tr in
+  Alcotest.(check bool) "sibling aggregation" true (contains ~sub:"c x2" r);
+  Alcotest.(check bool) "times as ms" true (contains ~sub:" ms" r)
+
+let test_chrome_json () =
+  let (), tr =
+    Obs.with_capture (fun () ->
+        Obs.span "alpha" (fun () -> Obs.Counter.add (Obs.Counter.make "test.chrome") 3))
+  in
+  let j = Obs.to_chrome_json tr in
+  List.iter
+    (fun sub -> Alcotest.(check bool) sub true (contains ~sub j))
+    [ "\"traceEvents\""; "\"ph\":\"X\""; "\"alpha\""; "\"ph\":\"C\""; "\"test.chrome\"" ];
+  Obs.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Task pool worker statistics                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_stats () =
+  let pool = Task_pool.create 2 in
+  Fun.protect
+    ~finally:(fun () -> Task_pool.shutdown pool)
+    (fun () ->
+      Obs.reset ();
+      Obs.disable ();
+      Task_pool.run_list pool (List.init 8 (fun _ () -> ignore (Sys.opaque_identity 1)));
+      let sum f = Array.fold_left (fun a st -> a + f st) 0 (Task_pool.worker_stats pool) in
+      Alcotest.(check int) "no counting while disabled" 0
+        (sum (fun st -> st.Task_pool.tasks));
+      Obs.enable ();
+      Task_pool.run_list pool (List.init 8 (fun _ () -> ignore (Sys.opaque_identity 1)));
+      Task_pool.parallel_for pool ~lo:0 ~hi:40 ~chunk:10 (fun _ _ -> ());
+      Obs.disable ();
+      Alcotest.(check int) "tasks counted while enabled" 12 (sum (fun st -> st.Task_pool.tasks));
+      Alcotest.(check bool) "busy time accumulated" true
+        (sum (fun st -> st.Task_pool.busy_ns) >= 0);
+      Task_pool.reset_stats pool;
+      Alcotest.(check int) "reset_stats" 0 (sum (fun st -> st.Task_pool.tasks));
+      Obs.reset ())
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE goldens                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table () =
+  Table.create
+    [
+      ("g", Column.ints [| 1; 1; 2; 2; 1; 2 |]);
+      ("x", Column.ints [| 3; 1; 2; 5; 4; 1 |]);
+      ("s", Column.strings [| "a"; "b"; "a"; "c"; "b"; "a" |]);
+    ]
+
+let q1 =
+  "select rank() over (partition by g order by x) as r, sum(x) over (partition by g order by x \
+   rows between 1 preceding and current row) as s1, count(*) over (partition by g order by x, s) \
+   as c from t"
+
+let q2 =
+  "select x + 1 as y, row_number() over (order by x desc) as rn from t where g = 1 order by rn \
+   limit 2"
+
+(* Masks wall times ("<float> ms" -> "# ms") and collapses the alignment
+   padding (interior runs of spaces), keeping the indentation that carries
+   the span tree structure. *)
+let mask_report s =
+  let mask_line line =
+    let n = String.length line in
+    let ind = ref 0 in
+    while !ind < n && line.[!ind] = ' ' do
+      incr ind
+    done;
+    let buf = Buffer.create n in
+    Buffer.add_string buf (String.sub line 0 !ind);
+    let is_num c = (c >= '0' && c <= '9') || c = '.' in
+    let i = ref !ind in
+    while !i < n do
+      let c = line.[!i] in
+      if is_num c then begin
+        let j = ref !i in
+        while !j < n && is_num line.[!j] do
+          incr j
+        done;
+        if !j + 2 < n && line.[!j] = ' ' && line.[!j + 1] = 'm' && line.[!j + 2] = 's' then begin
+          Buffer.add_string buf "# ms";
+          i := !j + 3
+        end
+        else begin
+          Buffer.add_string buf (String.sub line !i (!j - !i));
+          i := !j
+        end
+      end
+      else if c = ' ' then begin
+        let j = ref !i in
+        while !j < n && line.[!j] = ' ' do
+          incr j
+        done;
+        Buffer.add_char buf ' ';
+        i := !j
+      end
+      else begin
+        Buffer.add_char buf c;
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  String.concat "\n" (List.map mask_line (String.split_on_char '\n' s))
+
+let golden1 =
+  {|from: t
+select window: rank() over (partition by g order by x) as r
+select window: sum(x) over (partition by g order by x rows between 1 preceding and current row) as s1
+select window: count(*) over (partition by g order by x, s) as c
+rows: 6
+sql.query # ms
+  sql.window # ms
+    window_plan {rows=6, clauses=3} # ms
+      partition_ids {by=g} # ms
+      sort {order=x, s, kind=full, path=encoded, rows=6} # ms
+        sort.runs {n=6, runs=1} # ms
+      eval {order=x, s, partitions=2} # ms
+        frame {order=x} x4 # ms
+          build {kind=peers} x2 # ms
+        item {name=r, func=rank} x2 # ms
+          build {kind=encode} x2 # ms
+            sort.runs {n=3, runs=1} x2 # ms
+          build {kind=mst.rank} x2 # ms
+        item {name=s1, func=sum} x2 # ms
+          build {kind=remap} x2 # ms
+          build {kind=segment_tree} x2 # ms
+        frame {order=x, s} x2 # ms
+          build {kind=peers} x2 # ms
+        item {name=c, func=count(*)} x2 # ms
+    materialize {columns=3} # ms
+  sql.project {columns=3} # ms
+counters
+  cache.hit 2
+  cache.miss 12
+  plan.full_sorts 1
+  plan.partition_passes 1
+  plan.reused_sorts 2
+  plan.stages 1
+  pool.busy_ns # ms
+  pool.tasks 11
+|}
+
+let golden2 =
+  {|from: t
+where: (g = 1)
+select expr: (x + 1) as y
+select window: row_number() over (order by x desc) as rn
+order by: rn
+limit: 2
+rows: 2
+sql.query # ms
+  sql.where {in=6, out=3} # ms
+  sql.window # ms
+    window_plan {rows=3, clauses=1} # ms
+      partition_ids {by=} # ms
+      sort {order=x desc, kind=full, path=encoded, rows=3} # ms
+        sort.runs {n=3, runs=1} # ms
+      eval {order=x desc, partitions=1} # ms
+        frame {order=x desc} # ms
+          build {kind=peers} # ms
+        item {name=rn, func=row_number} # ms
+          build {kind=encode} # ms
+          build {kind=mst.row} # ms
+    materialize {columns=1} # ms
+  sql.project {columns=2} # ms
+  sql.order_by {rows=3} # ms
+    sort.runs {n=3, runs=1} # ms
+counters
+  cache.miss 3
+  plan.full_sorts 1
+  plan.partition_passes 1
+  plan.stages 1
+  pool.busy_ns # ms
+  pool.tasks 4
+|}
+
+let golden_case query golden () =
+  let pool = Task_pool.create 1 in
+  Fun.protect
+    ~finally:(fun () -> Task_pool.shutdown pool)
+    (fun () ->
+      let _, report = Sql.explain_analyze ~pool ~tables:[ ("t", table ()) ] query in
+      Alcotest.(check string) "masked report" golden (mask_report report))
+
+(* With tracing disabled, EXPLAIN ANALYZE and a plain query agree cell for
+   cell, and explain_analyze leaves tracing in the state it found it. *)
+let test_disabled_parity () =
+  Obs.disable ();
+  let pool = Task_pool.create 1 in
+  Fun.protect
+    ~finally:(fun () -> Task_pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun q ->
+          let plain = Sql.query ~pool ~tables:[ ("t", table ()) ] q in
+          let traced, _ = Sql.explain_analyze ~pool ~tables:[ ("t", table ()) ] q in
+          Alcotest.(check bool) "tracing left disabled" false (Obs.enabled ());
+          Alcotest.(check (list string)) "columns"
+            (Table.column_names plain) (Table.column_names traced);
+          List.iter
+            (fun name ->
+              let cp = Table.column plain name and ct = Table.column traced name in
+              for r = 0 to Table.nrows plain - 1 do
+                if not (Value.equal (Column.get cp r) (Column.get ct r)) then
+                  Alcotest.failf "query %s: row %d col %s differs" q r name
+              done)
+            (Table.column_names plain))
+        [ q1; q2 ])
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "obs",
+        [
+          Alcotest.test_case "monotonic clock" `Quick test_now_ns;
+          Alcotest.test_case "span nesting and args" `Quick test_span_nesting;
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "exception closes span" `Quick test_exception_closes_span;
+          Alcotest.test_case "annotate" `Quick test_annotate;
+          Alcotest.test_case "counters: gating, registry, reset" `Quick test_counters;
+          Alcotest.test_case "with_capture restores state" `Quick test_with_capture_restores;
+          Alcotest.test_case "totals" `Quick test_totals;
+          Alcotest.test_case "render aggregates siblings" `Quick test_render_aggregates;
+          Alcotest.test_case "chrome trace json" `Quick test_chrome_json;
+        ] );
+      ("pool", [ Alcotest.test_case "worker statistics" `Quick test_pool_stats ]);
+      ( "explain-analyze",
+        [
+          Alcotest.test_case "golden: multi-OVER sharing" `Quick (golden_case q1 golden1);
+          Alcotest.test_case "golden: where/project/order by" `Quick (golden_case q2 golden2);
+          Alcotest.test_case "disabled-tracing parity" `Quick test_disabled_parity;
+        ] );
+    ]

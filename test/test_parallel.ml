@@ -1,4 +1,5 @@
 module Task_pool = Holistic_parallel.Task_pool
+module Obs = Holistic_obs.Obs
 
 let test_run_list_results () =
   let pool = Task_pool.create 1 in
@@ -30,6 +31,67 @@ let test_exception_propagation () =
   let ok = ref false in
   Task_pool.run_list pool [ (fun () -> ok := true) ];
   Alcotest.(check bool) "pool reusable" true !ok;
+  Task_pool.shutdown pool
+
+let test_exception_inline () =
+  (* the n=1 pool runs tasks inline on the caller: same error contract *)
+  let pool = Task_pool.create 1 in
+  let ran_rest = ref 0 in
+  (try
+     Task_pool.run_list pool
+       [ (fun () -> raise Boom); (fun () -> incr ran_rest); (fun () -> incr ran_rest) ];
+     Alcotest.fail "expected exception"
+   with Boom -> ());
+  Alcotest.(check int) "remaining tasks completed" 2 !ran_rest;
+  let ok = ref false in
+  Task_pool.run_list pool [ (fun () -> ok := true) ];
+  Alcotest.(check bool) "pool reusable" true !ok;
+  Task_pool.shutdown pool
+
+let test_exception_first_only () =
+  (* several tasks raise: exactly one exception surfaces, after the batch *)
+  let pool = Task_pool.create 3 in
+  (try
+     Task_pool.run_list pool (List.init 6 (fun i () -> if i mod 2 = 0 then raise Boom));
+     Alcotest.fail "expected exception"
+   with Boom -> ());
+  Task_pool.shutdown pool
+
+let test_parallel_for_exception () =
+  let pool = Task_pool.create 2 in
+  let covered = Array.make 100 0 in
+  (try
+     Task_pool.parallel_for pool ~lo:0 ~hi:100 ~chunk:13 (fun lo hi ->
+         if lo = 26 then raise Boom;
+         for i = lo to hi - 1 do
+           covered.(i) <- 1
+         done);
+     Alcotest.fail "expected exception"
+   with Boom -> ());
+  (* chunks other than the failing one ran *)
+  Alcotest.(check int) "other chunks completed" (100 - 13) (Array.fold_left ( + ) 0 covered);
+  let ok = ref false in
+  Task_pool.run_list pool [ (fun () -> ok := true) ];
+  Alcotest.(check bool) "pool reusable" true !ok;
+  Task_pool.shutdown pool
+
+let test_exception_stats_consistent () =
+  (* with tracing on, raising tasks are still counted and timed, and the
+     error still surfaces on the caller *)
+  let pool = Task_pool.create 2 in
+  Obs.reset ();
+  Obs.enable ();
+  Task_pool.reset_stats pool;
+  (try
+     Task_pool.run_list pool (List.init 5 (fun i () -> if i = 0 then raise Boom));
+     Alcotest.fail "expected exception"
+   with Boom -> ());
+  Obs.disable ();
+  let sum f = Array.fold_left (fun a st -> a + f st) 0 (Task_pool.worker_stats pool) in
+  Alcotest.(check int) "every task counted, raising one included" 5
+    (sum (fun st -> st.Task_pool.tasks));
+  Alcotest.(check bool) "busy time non-negative" true (sum (fun st -> st.Task_pool.busy_ns) >= 0);
+  Obs.reset ();
   Task_pool.shutdown pool
 
 let test_parallel_for_coverage () =
@@ -70,6 +132,11 @@ let () =
           Alcotest.test_case "run_list inline" `Quick test_run_list_results;
           Alcotest.test_case "run_list multi-domain" `Quick test_run_list_multi_domain;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "exception propagation (inline pool)" `Quick test_exception_inline;
+          Alcotest.test_case "first exception only" `Quick test_exception_first_only;
+          Alcotest.test_case "parallel_for exception" `Quick test_parallel_for_exception;
+          Alcotest.test_case "stats consistent across errors" `Quick
+            test_exception_stats_consistent;
           Alcotest.test_case "parallel_for coverage" `Quick test_parallel_for_coverage;
           Alcotest.test_case "parallel_for edge cases" `Quick test_parallel_for_empty;
           Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
