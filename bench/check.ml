@@ -1,0 +1,127 @@
+(* The benchmark regression gate.
+
+   Compares fresh [BENCH_*.json] reports (written by [main.exe]'s
+   experiments through {!Report.write}) against the committed baselines in
+   [bench/baselines/].  Every baseline metric that embeds a tolerance is
+   gated: the fresh value must stay within that relative tolerance of the
+   baseline in the metric's bad direction (improvements never fail, see
+   {!Report.check_metric}).  Metrics without a tolerance — absolute wall
+   times, anything machine-dependent — live in the reports but are never
+   gated, so the gate holds on CI machines unlike the baseline host.
+
+   Exit status: 0 when every gated metric of every baseline passes (or with
+   [--update], always), 1 on any violation or missing fresh report, 2 on
+   usage/IO errors.
+
+     check.exe [--baselines DIR] [--fresh DIR] [--update]
+
+   [--update] replaces each baseline with the corresponding fresh report
+   (used to refresh baselines after an intentional performance change). *)
+
+let baselines_dir = ref "bench/baselines"
+let fresh_dir = ref "."
+let update = ref false
+let usage = "check.exe [--baselines DIR] [--fresh DIR] [--update]"
+
+let spec =
+  [
+    ( "--baselines",
+      Arg.Set_string baselines_dir,
+      "DIR committed baseline reports (default bench/baselines)" );
+    ("--fresh", Arg.Set_string fresh_dir, "DIR freshly produced reports (default .)");
+    ("--update", Arg.Set update, " replace baselines with the fresh reports");
+  ]
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline s;
+      exit 2)
+    fmt
+
+let is_report name =
+  String.length name > 6
+  && String.sub name 0 6 = "BENCH_"
+  && Filename.check_suffix name ".json"
+
+let reports_in what dir =
+  match Sys.readdir dir with
+  | entries ->
+      let files = Array.to_list entries |> List.filter is_report |> List.sort compare in
+      if files = [] then die "no BENCH_*.json %s under %s" what dir;
+      files
+  | exception Sys_error e -> die "cannot read %s directory: %s" what e
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc s;
+  close_out oc
+
+(* [--update] enumerates the *fresh* reports, so a first run seeds an
+   empty baselines directory and new experiments join the gate. *)
+let do_update () =
+  if not (Sys.file_exists !baselines_dir) then Sys.mkdir !baselines_dir 0o755;
+  List.iter
+    (fun name ->
+      copy_file (Filename.concat !fresh_dir name) (Filename.concat !baselines_dir name);
+      Printf.printf "updated %s\n" name)
+    (reports_in "fresh reports" !fresh_dir)
+
+let fmt_value v =
+  if Float.abs v >= 1e6 then Printf.sprintf "%.4g" v
+  else if Float.is_integer v then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4f" v
+
+let print_check (c : Report.check) =
+  let gate =
+    match c.Report.m_tolerance with
+    | None -> "-"
+    | Some t ->
+        Printf.sprintf "%.0f%% %s" (100. *. t)
+          (match c.Report.m_direction with
+          | Report.Lower_better -> "lower"
+          | Report.Higher_better -> "higher")
+  in
+  Printf.printf "  %-24s %14s %14s %12s  %s\n" c.Report.metric_name
+    (fmt_value c.Report.baseline)
+    (match c.Report.fresh with Some f -> fmt_value f | None -> "MISSING")
+    gate
+    (if c.Report.ok then "ok" else "FAIL")
+
+let gate files =
+  let failures = ref 0 in
+  List.iter
+    (fun name ->
+      let base_path = Filename.concat !baselines_dir name in
+      let fresh_path = Filename.concat !fresh_dir name in
+      let baseline =
+        try Report.load base_path
+        with e -> die "cannot parse baseline %s: %s" base_path (Printexc.to_string e)
+      in
+      Printf.printf "%s (%s)\n" name (Report.experiment_of baseline);
+      Printf.printf "  %-24s %14s %14s %12s\n" "metric" "baseline" "fresh" "tolerance";
+      (if not (Sys.file_exists fresh_path) then (
+         Printf.printf "  MISSING fresh report %s\n" fresh_path;
+         incr failures)
+       else
+         let fresh =
+           try Report.load fresh_path
+           with e -> die "cannot parse fresh report %s: %s" fresh_path (Printexc.to_string e)
+         in
+         let checks = Report.compare_reports ~baseline ~fresh in
+         List.iter print_check checks;
+         failures := !failures + List.length (Report.violations checks));
+      print_newline ())
+    files;
+  if !failures > 0 then (
+    Printf.printf "%d gated metric(s) FAILED\n" !failures;
+    exit 1)
+  else Printf.printf "all gated metrics within tolerance\n"
+
+let () =
+  Arg.parse spec (fun a -> die "unexpected argument %s (%s)" a usage) usage;
+  if !update then do_update () else gate (reports_in "baselines" !baselines_dir)

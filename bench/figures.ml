@@ -322,8 +322,9 @@ let table1 ~base () =
           List.map
             (fun n ->
               let table = Tpch.lineitem ~rows:n () in
-              H.time_best ~reps:2 (fun () ->
-                  ignore (Executor.run table ~over:(over_ship default_frame) [ item ])))
+              (H.time_best ~reps:2 (fun () ->
+                   ignore (Executor.run table ~over:(over_ship default_frame) [ item ])))
+                .H.best)
             sizes
         in
         (* least-squares slope of log t over log n *)
@@ -474,8 +475,8 @@ let ablation_store ~rows () =
     !acc
   in
   if probe_full () <> probe_compact () then failwith "storage ablation: results diverge";
-  let t64 = H.time_best ~reps:2 probe_full in
-  let t32 = H.time_best ~reps:2 probe_compact in
+  let t64 = (H.time_best ~reps:2 probe_full).H.best in
+  let t32 = (H.time_best ~reps:2 probe_compact).H.best in
   H.print_table
     ~header:[ "storage"; "bytes"; "probe s"; "M probes/s" ]
     ~rows:
@@ -528,19 +529,19 @@ let mst_width ~rows () =
         ignore (C.of_mst (Mst.create keys));
         H.gc_settle ();
         let t_legacy =
-          H.time_best ~reps:5 (fun () -> Legacy_mst.convert_32 (Legacy_mst.create keys))
+          (H.time_best ~reps:5 (fun () -> Legacy_mst.convert_32 (Legacy_mst.create keys))).H.best
         in
         H.gc_settle ();
-        let t_build64 = H.time_best ~reps:5 (fun () -> Mst.create keys) in
+        let t_build64 = (H.time_best ~reps:5 (fun () -> Mst.create keys)).H.best in
         H.gc_settle ();
-        let t_convert = H.time_best ~reps:5 (fun () -> C.of_mst (Mst.create keys)) in
+        let t_convert = (H.time_best ~reps:5 (fun () -> C.of_mst (Mst.create keys))).H.best in
         H.gc_settle ();
-        let t_direct32 = H.time_best ~reps:5 (fun () -> C.create keys) in
+        let t_direct32 = (H.time_best ~reps:5 (fun () -> C.create keys)).H.best in
         let fits16 = n <= 0xFFFF in
         let t_direct16 =
           if fits16 then begin
             H.gc_settle ();
-            Some (H.time_best ~reps:5 (fun () -> M16.create keys))
+            Some (H.time_best ~reps:5 (fun () -> M16.create keys)).H.best
           end
           else None
         in
@@ -622,13 +623,43 @@ let mst_width ~rows () =
           ])
       sizes
   in
-  H.write_json_file "BENCH_mst_width.json"
-    (H.J_obj
-       [
-         ("experiment", H.J_string "mst_width");
-         ("rows", H.J_int rows);
-         ("series", H.J_list series);
-       ])
+  (* gate on the largest size point: the build-path ratios and the exact
+     per-width footprints (deterministic arithmetic in n) *)
+  let metrics =
+    match List.rev series with
+    | H.J_obj last :: _ ->
+        let f k = match List.assoc_opt k last with Some (H.J_float v) -> Some v | _ -> None in
+        let nested k1 k2 =
+          match List.assoc_opt k1 last with
+          | Some (H.J_obj inner) -> (
+              match List.assoc_opt k2 inner with
+              | Some (H.J_int v) -> Some (float_of_int v)
+              | Some (H.J_float v) -> Some v
+              | _ -> None)
+          | _ -> None
+        in
+        List.filter_map
+          (fun (name, v, m) -> Option.map (fun v -> (name, m v)) v)
+          [
+            ( "legacy_over_direct32",
+              f "legacy_over_direct32",
+              fun v -> Report.metric ~unit_:"x" ~direction:Report.Higher_better ~tolerance:0.5 v );
+            ( "convert_over_direct32",
+              f "convert_over_direct32",
+              fun v -> Report.metric ~unit_:"x" ~direction:Report.Higher_better ~tolerance:0.5 v );
+            ( "bytes_w64",
+              nested "heap_bytes" "w64",
+              fun v -> Report.metric ~unit_:"B" ~tolerance:0.01 v );
+            ( "bytes_w32",
+              nested "heap_bytes" "w32",
+              fun v -> Report.metric ~unit_:"B" ~tolerance:0.01 v );
+          ]
+    | _ -> []
+  in
+  Report.write "BENCH_mst_width.json" ~experiment:"mst-width"
+    ~params:[ ("rows", H.J_int rows) ]
+    ~metrics ~series:(H.J_list series);
+  H.note "wrote BENCH_mst_width.json"
 
 let ablation_task ~rows () =
   H.section

@@ -1,9 +1,13 @@
-(* Shared benchmark machinery: wall-clock timing with stop-loss sweeps and
+(* Shared benchmark machinery: monotonic timing with stop-loss sweeps and
    aligned table output. All experiments print absolute numbers plus the
    derived series the paper plots, so EXPERIMENTS.md can quote them
    directly. *)
 
-let now () = Unix.gettimeofday ()
+module Obs = Holistic_obs.Obs
+
+(* Monotonic clock: [Unix.gettimeofday] is wall time and jumps under NTP
+   adjustment mid-sweep; the obs clock never goes backwards. *)
+let now () = float_of_int (Obs.now_ns ()) *. 1e-9
 
 type outcome = Time of float | Skipped
 
@@ -13,17 +17,28 @@ type outcome = Time of float | Skipped
 let default_budget = ref 30.0
 
 let time f =
-  let t0 = now () in
+  let t0 = Obs.now_ns () in
   let _ = f () in
-  now () -. t0
+  float_of_int (Obs.now_ns () - t0) *. 1e-9
 
-let time_best ~reps f =
-  let best = ref infinity in
-  for _ = 1 to reps do
-    let t = time f in
-    if t < !best then best := t
-  done;
-  !best
+type timing = { best : float; mean : float; stddev : float; runs : int }
+
+(* [?hist] names an [Obs.Histogram] that each rep's duration (ns) is
+   recorded into ungated, so bench reports can carry the distribution. *)
+let time_best ?hist ~reps f =
+  let h = Option.map Obs.Histogram.make hist in
+  let reps = max 1 reps in
+  let ts = Array.init reps (fun _ -> time f) in
+  Array.iter
+    (fun t -> Option.iter (fun h -> Obs.Histogram.add_always h (int_of_float (t *. 1e9))) h)
+    ts;
+  let best = Array.fold_left min ts.(0) ts in
+  let mean = Array.fold_left ( +. ) 0.0 ts /. float_of_int reps in
+  let var =
+    Array.fold_left (fun acc t -> acc +. ((t -. mean) *. (t -. mean))) 0.0 ts
+    /. float_of_int reps
+  in
+  { best; mean; stddev = sqrt var; runs = reps }
 
 let gc_settle () =
   Gc.full_major ();
@@ -71,11 +86,10 @@ let section title =
 let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n%!" s) fmt
 
 (* Machine-readable artifacts. Experiments that feed plots or regression
-   tracking emit their series as a JSON file next to the printed table, so
-   downstream tooling does not have to scrape aligned-column text. The
-   encoder is deliberately tiny: objects, arrays and scalars are all the
-   harness needs, and keeping it here avoids an external dependency. *)
-type json =
+   tracking emit their series through [Report] (one schema for every
+   bench, see bench/report.ml); the constructors are re-exported so call
+   sites keep reading [H.J_obj ...]. *)
+type json = Report.json =
   | J_null
   | J_bool of bool
   | J_int of int
@@ -84,66 +98,16 @@ type json =
   | J_list of json list
   | J_obj of (string * json) list
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_of_timing t =
+  J_obj
+    [
+      ("best_s", J_float t.best);
+      ("mean_s", J_float t.mean);
+      ("stddev_s", J_float t.stddev);
+      ("runs", J_int t.runs);
+    ]
 
-let json_to_string j =
-  let buf = Buffer.create 1024 in
-  let pad d = Buffer.add_string buf (String.make (2 * d) ' ') in
-  let rec go d = function
-    | J_null -> Buffer.add_string buf "null"
-    | J_bool b -> Buffer.add_string buf (string_of_bool b)
-    | J_int i -> Buffer.add_string buf (string_of_int i)
-    | J_float f ->
-        if not (Float.is_finite f) then Buffer.add_string buf "null"
-        else Buffer.add_string buf (Printf.sprintf "%.9g" f)
-    | J_string s ->
-        Buffer.add_char buf '"';
-        Buffer.add_string buf (json_escape s);
-        Buffer.add_char buf '"'
-    | J_list [] -> Buffer.add_string buf "[]"
-    | J_list xs ->
-        Buffer.add_string buf "[\n";
-        List.iteri
-          (fun i x ->
-            if i > 0 then Buffer.add_string buf ",\n";
-            pad (d + 1);
-            go (d + 1) x)
-          xs;
-        Buffer.add_char buf '\n';
-        pad d;
-        Buffer.add_char buf ']'
-    | J_obj [] -> Buffer.add_string buf "{}"
-    | J_obj kvs ->
-        Buffer.add_string buf "{\n";
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_string buf ",\n";
-            pad (d + 1);
-            Buffer.add_char buf '"';
-            Buffer.add_string buf (json_escape k);
-            Buffer.add_string buf "\": ";
-            go (d + 1) v)
-          kvs;
-        Buffer.add_char buf '\n';
-        pad d;
-        Buffer.add_char buf '}'
-  in
-  go 0 j;
-  Buffer.add_char buf '\n';
-  Buffer.contents buf
+let json_to_string = Report.json_to_string
 
 let json_of_outcome = function Skipped -> J_null | Time t -> J_float t
 

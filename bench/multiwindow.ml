@@ -128,6 +128,16 @@ let run ~rows () =
     stats.encode_builds >= legacy_counters.Build_cache.encode_builds
     || stats.tree_builds >= legacy_counters.Build_cache.tree_builds
   then failwith "sql-multiwindow: shared plan did not reduce encode/tree builds";
+  (* memory accounting: one traced plan run; the [mem.structure_bytes]
+     counter is deterministic for a given (table, clauses) pair, so the
+     regression gate can hold it to a tight tolerance *)
+  let _, mem_trace = Holistic_obs.Obs.with_capture (fun () -> Window_plan.run table cs) in
+  let structure_bytes =
+    match List.assoc_opt "mem.structure_bytes" mem_trace.Holistic_obs.Obs.counters with
+    | Some b -> b
+    | None -> 0
+  in
+  H.note "plan structures: %s" (Holistic_obs.Obs.human_bytes structure_bytes);
   (* now the wall clock, SQL front end against the preserved baseline *)
   H.gc_settle ();
   let plan_api_s = H.time (fun () -> Window_plan.run table cs) in
@@ -138,42 +148,62 @@ let run ~rows () =
       H.note "legacy clause %d alone: %.3f s" (i + 1) t)
     cs;
   H.gc_settle ();
-  let plan_s = H.time_best ~reps:3 (fun () -> Sql.query ~tables:[ ("t", table) ] query) in
+  let plan_t = H.time_best ~hist:"bench.plan_ns" ~reps:3 (fun () -> Sql.query ~tables:[ ("t", table) ] query) in
   H.gc_settle ();
-  let legacy_s = H.time_best ~reps:3 (fun () -> Legacy_window.run_clauses table cs) in
+  let legacy_t = H.time_best ~hist:"bench.legacy_ns" ~reps:3 (fun () -> Legacy_window.run_clauses table cs) in
+  let plan_s = plan_t.H.best and legacy_s = legacy_t.H.best in
   let speedup = legacy_s /. plan_s in
-  H.print_table ~header:[ "path"; "seconds"; "speedup" ]
+  H.print_table ~header:[ "path"; "seconds"; "mean±sd"; "speedup" ]
     ~rows:
       [
-        [ "legacy (4 independent clauses)"; Printf.sprintf "%.3f" legacy_s; "1.00x" ];
-        [ "shared plan (SQL)"; Printf.sprintf "%.3f" plan_s; Printf.sprintf "%.2fx" speedup ];
+        [
+          "legacy (4 independent clauses)";
+          Printf.sprintf "%.3f" legacy_s;
+          Printf.sprintf "%.3f±%.3f" legacy_t.H.mean legacy_t.H.stddev;
+          "1.00x";
+        ];
+        [
+          "shared plan (SQL)";
+          Printf.sprintf "%.3f" plan_s;
+          Printf.sprintf "%.3f±%.3f" plan_t.H.mean plan_t.H.stddev;
+          Printf.sprintf "%.2fx" speedup;
+        ];
       ];
-  H.write_json_file "BENCH_sql_multiwindow.json"
-    (H.J_obj
-       [
-         ("experiment", H.J_string "sql_multiwindow");
-         ("rows", H.J_int rows);
-         ("partitions", H.J_int partitions);
-         ("clauses", H.J_int 4);
-         ("legacy_s", H.J_float legacy_s);
-         ("plan_s", H.J_float plan_s);
-         ("speedup", H.J_float speedup);
-         ( "plan_stats",
-           H.J_obj
-             [
-               ("stages", H.J_int stats.stages);
-               ("partition_passes", H.J_int stats.partition_passes);
-               ("full_sorts", H.J_int stats.full_sorts);
-               ("partial_sorts", H.J_int stats.partial_sorts);
-               ("reused_sorts", H.J_int stats.reused_sorts);
-               ("comparator_sorts", H.J_int stats.comparator_sorts);
-               ("encode_builds", H.J_int stats.encode_builds);
-               ("tree_builds", H.J_int stats.tree_builds);
-             ] );
-         ( "legacy_builds",
-           H.J_obj
-             [
-               ("encode_builds", H.J_int legacy_counters.Build_cache.encode_builds);
-               ("tree_builds", H.J_int legacy_counters.Build_cache.tree_builds);
-             ] );
-       ])
+  Report.write "BENCH_sql_multiwindow.json" ~experiment:"sql-multiwindow"
+    ~params:
+      [
+        ("rows", H.J_int rows);
+        ("partitions", H.J_int partitions);
+        ("clauses", H.J_int 4);
+      ]
+    ~metrics:
+      [
+        (* gated: machine-independent ratios, exact build/sort counts and
+           the deterministic structure footprint *)
+        ("speedup", Report.metric ~unit_:"x" ~direction:Report.Higher_better ~tolerance:0.35 speedup);
+        ("structure_bytes", Report.metric ~unit_:"B" ~tolerance:0.25 (float_of_int structure_bytes));
+        ("encode_builds", Report.metric ~tolerance:0.01 (float_of_int stats.encode_builds));
+        ("tree_builds", Report.metric ~tolerance:0.01 (float_of_int stats.tree_builds));
+        ("full_sorts", Report.metric ~tolerance:0.01 (float_of_int stats.full_sorts));
+        ("partial_sorts", Report.metric ~tolerance:0.01 (float_of_int stats.partial_sorts));
+        (* report-only: absolute wall times are machine-dependent *)
+        ("plan_s", Report.metric ~unit_:"s" plan_s);
+        ("legacy_s", Report.metric ~unit_:"s" legacy_s);
+      ]
+    ~counters:
+      [
+        ("plan.stages", stats.stages);
+        ("plan.partition_passes", stats.partition_passes);
+        ("plan.reused_sorts", stats.reused_sorts);
+        ("plan.comparator_sorts", stats.comparator_sorts);
+        ("legacy.encode_builds", legacy_counters.Build_cache.encode_builds);
+        ("legacy.tree_builds", legacy_counters.Build_cache.tree_builds);
+      ]
+    ~histograms:(Holistic_obs.Obs.Histogram.snapshot ())
+    ~series:
+      (H.J_obj
+         [
+           ("plan", H.json_of_timing plan_t);
+           ("legacy", H.json_of_timing legacy_t);
+         ]);
+  H.note "wrote BENCH_sql_multiwindow.json"

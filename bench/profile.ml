@@ -52,7 +52,12 @@ let phases table =
         prev)
   in
   (* --- merge sort tree ----------------------------------------------- *)
-  let tree = phase "build merge sort tree" (fun () -> Mst.create ~pool prev) in
+  let tree =
+    phase "build merge sort tree" (fun () ->
+        let t = Mst.create ~pool prev in
+        Obs.record_bytes (fun () -> Mst.footprint_bytes t);
+        t)
+  in
   (* --- probe ---------------------------------------------------------- *)
   let out = Array.make n 0 in
   phase "compute results" (fun () ->
@@ -63,24 +68,24 @@ let phases table =
             let hi_frame = Bs.upper_bound ship ~lo:0 ~hi:n ship.(i) in
             out.(i) <- Mst.count tree ~lo:0 ~hi:hi_frame ~less_than:1
           done));
-  out
+  (out, Mst.footprint_bytes tree)
 
 let trace_file = "TRACE_profile.json"
 
 let run ~rows =
   let table = Holistic_data.Tpch.lineitem ~rows () in
   Harness.gc_settle ();
-  let out, trace = Obs.with_capture (fun () -> phases table) in
-  (* The phase spans are the capture's roots; the library spans they
-     enclose (sort.runs, sort.merge) stay out of the printed table but go
-     into the Chrome trace. *)
-  let roots = { trace with Obs.spans = List.filter (fun s -> s.Obs.parent = -1) trace.Obs.spans } in
-  let timers = List.map (fun (name, (_count, secs)) -> (name, secs)) (Obs.totals roots) in
+  let (out, mst_bytes), trace = Obs.with_capture (fun () -> phases table) in
+  (* Self-times: each span's duration minus its children, so the library
+     spans nested below the phases (sort.runs, sort.merge, ...) show up as
+     their own rows instead of being double-counted inside their parents. *)
+  let timers = List.map (fun (name, (_count, secs)) -> (name, secs)) (Obs.self_totals trace) in
   let total = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 timers in
   Harness.note "rows: %d, total %.3f s, final running distinct count: %d" rows total
     out.(rows - 1);
+  Harness.note "merge sort tree footprint: %s" (Obs.human_bytes mst_bytes);
   Harness.print_table
-    ~header:[ "phase"; "seconds"; "share"; "" ]
+    ~header:[ "phase (self time)"; "seconds"; "share"; "" ]
     ~rows:
       (List.map
          (fun (name, t) ->
@@ -93,4 +98,20 @@ let run ~rows =
            ])
          timers);
   Obs.write_chrome_trace trace_file trace;
+  Report.write "BENCH_fig14.json" ~experiment:"fig14"
+    ~params:[ ("rows", Report.J_int rows) ]
+    ~metrics:
+      ([
+         (* gated: the tree footprint is deterministic for a fixed input *)
+         ("mst_bytes", Report.metric ~unit_:"B" ~tolerance:0.2 (float_of_int mst_bytes));
+         (* report-only absolute times *)
+         ("total_s", Report.metric ~unit_:"s" total);
+       ]
+      @ List.map
+          (fun (name, t) -> ("self." ^ name, Report.metric ~unit_:"s" t))
+          timers)
+    ~counters:trace.Obs.counters
+    ~series:
+      (Report.J_obj (List.map (fun (name, t) -> (name, Report.J_float t)) timers));
+  Harness.note "wrote BENCH_fig14.json";
   timers

@@ -1,0 +1,430 @@
+(* Unified bench reporting substrate (ISSUE 5): every experiment emits one
+   common JSON schema — experiment name, parameters, gated metrics,
+   counters, histograms and free-form series — and the regression gate
+   ([check.ml]) compares a fresh run against the committed baselines in
+   bench/baselines/ using the per-metric tolerances embedded here.
+
+   The schema, "holiwin-bench/1":
+
+     {
+       "schema": "holiwin-bench/1",
+       "experiment": "sql-multiwindow",
+       "params":   { "rows": 40000, ... },
+       "metrics":  { "speedup": { "value": 1.8, "unit": "x",
+                                  "direction": "higher", "tolerance": 0.35 },
+                     "plan_s":  { "value": 0.12, "unit": "s",
+                                  "direction": "lower", "tolerance": null } },
+       "counters": { "plan.full_sorts": 2, ... },
+       "histograms": { "bench.plan_ns": { "count": 3, "sum": ..., "min": ...,
+                                          "max": ..., "p50": ..., "p90": ...,
+                                          "p99": ... } },
+       "series":   [ ... experiment-specific ... ]
+     }
+
+   Only metrics with a non-null tolerance are gated; the rest (absolute
+   wall times above all) are reported for trend reading but never fail
+   CI, because the CI machine is not the machine the baseline was
+   recorded on.  Gated metrics are machine-independent by construction:
+   speedup ratios, build counts, structure bytes.
+
+   The JSON printer and parser are deliberately tiny — objects, arrays
+   and scalars are all the schema needs, and an in-repo parser avoids an
+   external dependency. *)
+
+module Obs = Holistic_obs.Obs
+
+let schema_id = "holiwin-bench/1"
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_to_string j =
+  let buf = Buffer.create 1024 in
+  let pad d = Buffer.add_string buf (String.make (2 * d) ' ') in
+  let rec go d = function
+    | J_null -> Buffer.add_string buf "null"
+    | J_bool b -> Buffer.add_string buf (string_of_bool b)
+    | J_int i -> Buffer.add_string buf (string_of_int i)
+    | J_float f ->
+        if not (Float.is_finite f) then Buffer.add_string buf "null"
+        else Buffer.add_string buf (Printf.sprintf "%.9g" f)
+    | J_string s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (json_escape s);
+        Buffer.add_char buf '"'
+    | J_list [] -> Buffer.add_string buf "[]"
+    | J_list xs ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (d + 1);
+            go (d + 1) x)
+          xs;
+        Buffer.add_char buf '\n';
+        pad d;
+        Buffer.add_char buf ']'
+    | J_obj [] -> Buffer.add_string buf "{}"
+    | J_obj kvs ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (d + 1);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (json_escape k);
+            Buffer.add_string buf "\": ";
+            go (d + 1) v)
+          kvs;
+        Buffer.add_char buf '\n';
+        pad d;
+        Buffer.add_char buf '}'
+  in
+  go 0 j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+exception Parse_error of string * int
+
+(* Recursive-descent parser for the subset the printer emits (which is
+   all of JSON except exotic number spellings and \u escapes beyond
+   Latin-1; enough to read our own files back). *)
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (msg, !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'
+               | '\\' -> Buffer.add_char buf '\\'
+               | '/' -> Buffer.add_char buf '/'
+               | 'n' -> Buffer.add_char buf '\n'
+               | 't' -> Buffer.add_char buf '\t'
+               | 'r' -> Buffer.add_char buf '\r'
+               | 'b' -> Buffer.add_char buf '\b'
+               | 'f' -> Buffer.add_char buf '\012'
+               | 'u' ->
+                   if !pos + 4 >= n then fail "truncated \\u escape";
+                   let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+                   pos := !pos + 4;
+                   if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                   else if code < 0x800 then begin
+                     Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                   end
+                   else begin
+                     Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                     Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                   end
+               | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match int_of_string_opt lit with
+    | Some i -> J_int i
+    | None -> (
+        match float_of_string_opt lit with
+        | Some f -> J_float f
+        | None -> fail (Printf.sprintf "bad number %S" lit))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          J_obj []
+        end
+        else begin
+          let kvs = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            kvs := (k, v) :: !kvs;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or }"
+          in
+          members ();
+          J_obj (List.rev !kvs)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          J_list []
+        end
+        else begin
+          let xs = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            xs := v :: !xs;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ]"
+          in
+          elements ();
+          J_list (List.rev !xs)
+        end
+    | Some '"' -> J_string (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  parse s
+
+let save path j =
+  let oc = open_out path in
+  output_string oc (json_to_string j);
+  close_out oc
+
+(* accessors *)
+let member k = function J_obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let to_float = function
+  | J_int i -> Some (float_of_int i)
+  | J_float f -> Some f
+  | _ -> None
+
+let to_string_opt = function J_string s -> Some s | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type direction = Lower_better | Higher_better
+
+type metric = {
+  value : float;
+  unit_ : string;
+  direction : direction;
+  tolerance : float option;
+      (* relative slack for the gate; [None] = report-only (absolute wall
+         times: machine-dependent, never gated) *)
+}
+
+let metric ?(unit_ = "") ?(direction = Lower_better) ?tolerance value =
+  { value; unit_; direction; tolerance }
+
+let direction_to_string = function Lower_better -> "lower" | Higher_better -> "higher"
+
+let direction_of_string = function
+  | "higher" -> Higher_better
+  | _ -> Lower_better
+
+let json_of_metric m =
+  J_obj
+    [
+      ("value", J_float m.value);
+      ("unit", J_string m.unit_);
+      ("direction", J_string (direction_to_string m.direction));
+      ("tolerance", match m.tolerance with None -> J_null | Some t -> J_float t);
+    ]
+
+let metric_of_json j =
+  match to_float (Option.value ~default:J_null (member "value" j)) with
+  | None -> None
+  | Some value ->
+      Some
+        {
+          value;
+          unit_ = Option.value ~default:"" (Option.bind (member "unit" j) to_string_opt);
+          direction =
+            direction_of_string
+              (Option.value ~default:"lower" (Option.bind (member "direction" j) to_string_opt));
+          tolerance = Option.bind (member "tolerance" j) to_float;
+        }
+
+let json_of_hist_summary (s : Obs.Histogram.summary) =
+  J_obj
+    [
+      ("count", J_int s.Obs.Histogram.count);
+      ("sum", J_int s.Obs.Histogram.sum);
+      ("min", J_int s.Obs.Histogram.min);
+      ("max", J_int s.Obs.Histogram.max);
+      ("p50", J_int s.Obs.Histogram.p50);
+      ("p90", J_int s.Obs.Histogram.p90);
+      ("p99", J_int s.Obs.Histogram.p99);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let make ~experiment ?(params = []) ?(metrics = []) ?(counters = []) ?(histograms = [])
+    ?series () =
+  J_obj
+    ([
+       ("schema", J_string schema_id);
+       ("experiment", J_string experiment);
+       ("params", J_obj params);
+       ("metrics", J_obj (List.map (fun (k, m) -> (k, json_of_metric m)) metrics));
+       ("counters", J_obj (List.map (fun (k, v) -> (k, J_int v)) counters));
+       ( "histograms",
+         J_obj (List.map (fun (k, s) -> (k, json_of_hist_summary s)) histograms) );
+     ]
+    @ match series with None -> [] | Some s -> [ ("series", s) ])
+
+let write ~experiment ?params ?metrics ?counters ?histograms ?series path =
+  save path (make ~experiment ?params ?metrics ?counters ?histograms ?series ())
+
+(* ------------------------------------------------------------------ *)
+(* The regression gate                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type check = {
+  metric_name : string;
+  baseline : float;
+  fresh : float option;
+  m_direction : direction;
+  m_tolerance : float option;
+  ok : bool;
+}
+
+(* A gated metric passes when the fresh value stays within the relative
+   tolerance of the baseline in the metric's bad direction (improvements
+   never fail): lower-is-better fails when fresh > base·(1+t),
+   higher-is-better fails when fresh < base/(1+t).  A missing fresh value
+   fails.  The tiny absolute epsilon keeps exactly-zero baselines from
+   rejecting exactly-zero fresh values to rounding. *)
+let check_metric name (base : metric) (fresh : metric option) =
+  let fresh_v = Option.map (fun m -> m.value) fresh in
+  let ok =
+    match base.tolerance with
+    | None -> true
+    | Some t -> (
+        match fresh_v with
+        | None -> false
+        | Some f -> (
+            match base.direction with
+            | Lower_better -> f <= (base.value *. (1.0 +. t)) +. 1e-9
+            | Higher_better -> f >= (base.value /. (1.0 +. t)) -. 1e-9))
+  in
+  {
+    metric_name = name;
+    baseline = base.value;
+    fresh = fresh_v;
+    m_direction = base.direction;
+    m_tolerance = base.tolerance;
+    ok;
+  }
+
+let metrics_of json =
+  match member "metrics" json with
+  | Some (J_obj kvs) ->
+      List.filter_map (fun (k, v) -> Option.map (fun m -> (k, m)) (metric_of_json v)) kvs
+  | _ -> []
+
+let experiment_of json =
+  Option.value ~default:"?" (Option.bind (member "experiment" json) to_string_opt)
+
+(* Compare a fresh report against its baseline: one [check] per baseline
+   metric, in baseline order.  Metrics only present in the fresh run are
+   ignored (they gate once a baseline embedding them is committed). *)
+let compare_reports ~baseline ~fresh =
+  let fresh_metrics = metrics_of fresh in
+  List.map
+    (fun (name, base) -> check_metric name base (List.assoc_opt name fresh_metrics))
+    (metrics_of baseline)
+
+let violations checks = List.filter (fun c -> not c.ok) checks

@@ -30,6 +30,8 @@ let spec =
 
 let run ~rows () =
   H.section "sort-keys: normalized-key + OVC sort vs boxed comparator sort";
+  (* a previous experiment in the same process may have left histograms *)
+  Holistic_obs.Obs.Histogram.reset_all ();
   let partitions = max 8 (rows / 10_000) in
   let rng = Rng.create 2022 in
   let table, pids = make_table rng ~rows ~partitions in
@@ -58,27 +60,42 @@ let run ~rows () =
   if expect <> perm then failwith "sort-keys parity: encoded sort diverged from comparator sort";
   H.note "parity: identical permutation on both paths";
   H.gc_settle ();
-  let comparator_s = H.time_best ~reps:3 (fun () -> ignore (comparator_sort ())) in
+  let comparator_t = H.time_best ~hist:"bench.comparator_ns" ~reps:3 (fun () -> ignore (comparator_sort ())) in
   H.gc_settle ();
-  let encoded_s = H.time_best ~reps:3 (fun () -> ignore (encoded_sort ())) in
+  let encoded_t = H.time_best ~hist:"bench.encoded_ns" ~reps:3 (fun () -> ignore (encoded_sort ())) in
   (* same sort again, but forced through run formation and the OVC
      loser-tree merge (a single-domain pool otherwise sorts in one run):
      measures the merge's overhead and its code-decided comparison share *)
   H.gc_settle ();
   Multiway.reset_ovc_stats ();
   let merge_task = max 1_000 (rows / 64) in
-  let merged_s = H.time_best ~reps:3 (fun () -> ignore (encoded_sort ~task_size:merge_task ())) in
+  let merged_t = H.time_best ~reps:3 (fun () -> ignore (encoded_sort ~task_size:merge_task ())) in
   let ovc_decided, ovc_scanned = Multiway.ovc_stats () in
+  let comparator_s = comparator_t.H.best
+  and encoded_s = encoded_t.H.best
+  and merged_s = merged_t.H.best in
   let speedup = comparator_s /. encoded_s in
-  H.print_table ~header:[ "path"; "seconds"; "speedup" ]
+  let merged_speedup = comparator_s /. merged_s in
+  H.print_table ~header:[ "path"; "seconds"; "mean±sd"; "speedup" ]
     ~rows:
       [
-        [ "comparator (boxed, closure cmp)"; Printf.sprintf "%.3f" comparator_s; "1.00x" ];
-        [ "key codec, single run"; Printf.sprintf "%.3f" encoded_s; Printf.sprintf "%.2fx" speedup ];
+        [
+          "comparator (boxed, closure cmp)";
+          Printf.sprintf "%.3f" comparator_s;
+          Printf.sprintf "%.3f±%.3f" comparator_t.H.mean comparator_t.H.stddev;
+          "1.00x";
+        ];
+        [
+          "key codec, single run";
+          Printf.sprintf "%.3f" encoded_s;
+          Printf.sprintf "%.3f±%.3f" encoded_t.H.mean encoded_t.H.stddev;
+          Printf.sprintf "%.2fx" speedup;
+        ];
         [
           "key codec, 64-run OVC merge";
           Printf.sprintf "%.3f" merged_s;
-          Printf.sprintf "%.2fx" (comparator_s /. merged_s);
+          Printf.sprintf "%.3f±%.3f" merged_t.H.mean merged_t.H.stddev;
+          Printf.sprintf "%.2fx" merged_speedup;
         ];
       ];
   H.note "ovc merge: %d comparisons code-decided, %d deep scans (over 3 reps)" ovc_decided
@@ -86,20 +103,35 @@ let run ~rows () =
   if ovc_decided = 0 then failwith "sort-keys: forced merge never exercised offset-value codes";
   if speedup < 1.5 then
     failwith (Printf.sprintf "sort-keys: speedup %.2fx below the 1.5x floor" speedup);
-  H.write_json_file "BENCH_sort_ovc.json"
-    (H.J_obj
-       [
-         ("experiment", H.J_string "sort_ovc");
-         ("rows", H.J_int rows);
-         ("partitions", H.J_int partitions);
-         ("words", H.J_int (Array.length kc.Key_codec.words));
-         ("covered_keys", H.J_int kc.Key_codec.covered);
-         ("total_keys", H.J_int kc.Key_codec.total);
-         ("comparator_s", H.J_float comparator_s);
-         ("encoded_s", H.J_float encoded_s);
-         ("encoded_merge_s", H.J_float merged_s);
-         ("speedup", H.J_float speedup);
-         ("ovc_decided", H.J_int ovc_decided);
-         ("ovc_scanned", H.J_int ovc_scanned);
-       ]);
+  Report.write "BENCH_sort_ovc.json" ~experiment:"sort-keys"
+    ~params:
+      [
+        ("rows", H.J_int rows);
+        ("partitions", H.J_int partitions);
+        ("total_keys", H.J_int kc.Key_codec.total);
+      ]
+    ~metrics:
+      [
+        (* gated: ratios and the codec's structural outcome *)
+        ("speedup", Report.metric ~unit_:"x" ~direction:Report.Higher_better ~tolerance:0.4 speedup);
+        ( "merged_speedup",
+          Report.metric ~unit_:"x" ~direction:Report.Higher_better ~tolerance:0.4 merged_speedup );
+        ("words", Report.metric ~tolerance:0.01 (float_of_int (Array.length kc.Key_codec.words)));
+        ("covered_keys", Report.metric ~tolerance:0.01 ~direction:Report.Higher_better
+             (float_of_int kc.Key_codec.covered));
+        (* report-only absolute times *)
+        ("comparator_s", Report.metric ~unit_:"s" comparator_s);
+        ("encoded_s", Report.metric ~unit_:"s" encoded_s);
+        ("encoded_merge_s", Report.metric ~unit_:"s" merged_s);
+      ]
+    ~counters:[ ("ovc.decided", ovc_decided); ("ovc.scanned", ovc_scanned) ]
+    ~histograms:(Holistic_obs.Obs.Histogram.snapshot ())
+    ~series:
+      (H.J_obj
+         [
+           ("comparator", H.json_of_timing comparator_t);
+           ("encoded", H.json_of_timing encoded_t);
+           ("merged", H.json_of_timing merged_t);
+         ]);
+  H.note "wrote BENCH_sort_ovc.json";
   Task_pool.shutdown pool

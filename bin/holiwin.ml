@@ -153,7 +153,8 @@ let explain_cmd =
         let tables = List.map load_table table_specs in
         let result, trace = Holistic_sql.Sql.explain_analyze_trace ~tables sql in
         print_string (Holistic_sql.Sql.explain sql);
-        Printf.printf "rows: %d\n" (Table.nrows result);
+        Printf.printf "rows: %d (%s)\n" (Table.nrows result)
+          (Holistic_obs.Obs.human_bytes (Table.footprint_bytes result));
         print_string (Holistic_obs.Obs.render trace);
         Option.iter (fun path -> Holistic_obs.Obs.write_chrome_trace path trace) trace_out
       end

@@ -28,6 +28,10 @@ module Make (M : MONOID) = struct
 
   let length t = t.n
 
+  (* reachable-word accounting covers boxed monoid payloads (shared
+     values counted once) and flat float arrays alike. *)
+  let footprint_bytes t = 8 * Obj.reachable_words (Obj.repr t.nodes)
+
   let query t ~lo ~hi =
     let lo = max lo 0 and hi = min hi t.n in
     if lo >= hi then M.identity
@@ -62,6 +66,7 @@ module Float_sum = struct
 
   let create a = T.create (Array.length a) (fun i -> a.(i))
   let query = T.query
+  let footprint_bytes = T.footprint_bytes
 end
 
 module Float_min = struct
@@ -76,6 +81,7 @@ module Float_min = struct
 
   let create a = T.create (Array.length a) (fun i -> a.(i))
   let query = T.query
+  let footprint_bytes = T.footprint_bytes
 end
 
 module Float_max = struct
@@ -90,6 +96,7 @@ module Float_max = struct
 
   let create a = T.create (Array.length a) (fun i -> a.(i))
   let query = T.query
+  let footprint_bytes = T.footprint_bytes
 end
 
 module Int_sum = struct
@@ -104,4 +111,5 @@ module Int_sum = struct
 
   let create a = T.create (Array.length a) (fun i -> a.(i))
   let query = T.query
+  let footprint_bytes = T.footprint_bytes
 end

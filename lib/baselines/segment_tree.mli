@@ -25,6 +25,10 @@ module Make (M : MONOID) : sig
   val query : t -> lo:int -> hi:int -> M.t
   (** Aggregate of leaves [\[lo, hi)], clamped to [\[0, n)]; identity when
       empty. *)
+
+  val footprint_bytes : t -> int
+  (** Reachable bytes of the node array (boxed payloads included) — the
+      repo-wide memory-accounting contract. *)
 end
 
 module Float_sum : sig
@@ -32,6 +36,7 @@ module Float_sum : sig
 
   val create : float array -> t
   val query : t -> lo:int -> hi:int -> float
+  val footprint_bytes : t -> int
 end
 
 module Float_min : sig
@@ -40,6 +45,8 @@ module Float_min : sig
   val create : float array -> t
   val query : t -> lo:int -> hi:int -> float
   (** [infinity] on an empty range. *)
+
+  val footprint_bytes : t -> int
 end
 
 module Float_max : sig
@@ -48,6 +55,8 @@ module Float_max : sig
   val create : float array -> t
   val query : t -> lo:int -> hi:int -> float
   (** [neg_infinity] on an empty range. *)
+
+  val footprint_bytes : t -> int
 end
 
 module Int_sum : sig
@@ -55,4 +64,5 @@ module Int_sum : sig
 
   val create : int array -> t
   val query : t -> lo:int -> hi:int -> int
+  val footprint_bytes : t -> int
 end

@@ -42,6 +42,13 @@ module Make (M : MONOID) = struct
     let mst = Mst.create ?pool ?fanout ?sample ~track_payload:true keys in
     { mst; prefixes = build_prefixes mst value }
 
+  let footprint_bytes t =
+    (* tree elements (incl. the 8-byte payload level) by exact arithmetic;
+       prefix aggregates by reachable-word count, which handles boxed and
+       flat-float monoid representations alike and is deterministic for a
+       given input. *)
+    Mst.footprint_bytes t.mst + (8 * Obj.reachable_words (Obj.repr t.prefixes))
+
   let query t ~lo ~hi ~less_than =
     let acc = ref M.identity in
     Mst.iter_covered t.mst ~lo ~hi ~less_than (fun ~level ~base ~prefix ->
@@ -65,4 +72,5 @@ module Float_sum = struct
     Sum.create ?pool ?fanout ?sample ~keys ~value:(fun i -> values.(i)) ()
 
   let query = Sum.query
+  let footprint_bytes = Sum.footprint_bytes
 end

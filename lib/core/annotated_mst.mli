@@ -44,6 +44,10 @@ module Make (M : MONOID) : sig
   (** Combination of [value i] over positions [i ∈ [lo, hi)] with
       [keys.(i) < less_than]. For a frame [\[lo, hi)] in frame order, passing
       [~less_than:(lo + 1)] yields the frame's DISTINCT aggregate. *)
+
+  val footprint_bytes : t -> int
+  (** Tree element bytes plus the reachable words of the per-run prefix
+      aggregates — the repo-wide memory-accounting contract. *)
 end
 
 (** Float-SUM instantiation (SUM/AVG DISTINCT fast path). *)
@@ -60,4 +64,5 @@ module Float_sum : sig
     t
 
   val query : t -> lo:int -> hi:int -> less_than:int -> float
+  val footprint_bytes : t -> int
 end

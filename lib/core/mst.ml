@@ -49,6 +49,7 @@ type stats = T.stats = {
 }
 
 let stats = T.stats
+let footprint_bytes = T.footprint_bytes
 
 let element_count_formula ~n ~fanout ~sample =
   if n <= 1 then n

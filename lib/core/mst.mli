@@ -108,6 +108,11 @@ type stats = {
 
 val stats : t -> stats
 
+val footprint_bytes : t -> int
+(** Bytes held by the built tree (8 per stored element; array headers,
+    a negligible constant, excluded) — the repo-wide memory-accounting
+    contract. *)
+
 val element_count_formula : n:int -> fanout:int -> sample:int -> int
 (** The paper's closed-form element count (§5.1):
     [⌈log_f n⌉·n + (⌈log_f n⌉ − 1)·n·f/k]; used for the §6.6 memory table at

@@ -27,3 +27,4 @@ type stats = T.stats = {
 
 let stats = T.stats
 let heap_bytes t = (T.stats t).T.heap_bytes
+let footprint_bytes = T.footprint_bytes

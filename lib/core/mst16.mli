@@ -46,3 +46,7 @@ val stats : t -> stats
 
 val heap_bytes : t -> int
 (** Bytes held by the representation (2 per element). *)
+
+val footprint_bytes : t -> int
+(** Alias of {!heap_bytes}: the repo-wide memory-accounting contract.
+    The buffers are bigarrays — malloc'd outside the OCaml heap. *)

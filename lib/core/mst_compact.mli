@@ -54,3 +54,7 @@ val stats : t -> stats
 
 val heap_bytes : t -> int
 (** Bytes held by the compact representation (4 per element). *)
+
+val footprint_bytes : t -> int
+(** Alias of {!heap_bytes}: the repo-wide memory-accounting contract.
+    The buffers are bigarrays — malloc'd outside the OCaml heap. *)

@@ -580,4 +580,10 @@ module Make (S : Mst_storage.S) = struct
       heap_bytes =
         (S.bytes_per_element * (level_elements + cursor_elements)) + (8 * payload_elements);
     }
+
+  (* The memory-accounting contract (ISSUE 5): bytes held by the built
+     structure.  Element storage dominates; per-array headers and the
+     record itself are a few dozen words against megabytes of levels, so
+     the exact-arithmetic element count is the footprint. *)
+  let footprint_bytes t = (stats t).heap_bytes
 end

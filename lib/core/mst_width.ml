@@ -85,3 +85,5 @@ let heap_bytes = function
   | T16 t -> Mst16.heap_bytes t
   | T32 t -> Mst_compact.heap_bytes t
   | T64 t -> (Mst.stats t).Mst.heap_bytes
+
+let footprint_bytes = heap_bytes

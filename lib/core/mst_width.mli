@@ -42,3 +42,7 @@ val count_ranges : t -> ranges:(int * int) array -> less_than:int -> int
 val count_value_ranges : t -> ranges:(int * int) array -> int
 val select : t -> ranges:(int * int) array -> nth:int -> int
 val heap_bytes : t -> int
+
+val footprint_bytes : t -> int
+(** Alias of {!heap_bytes}: the repo-wide memory-accounting contract
+    (element bytes at the selected width). *)

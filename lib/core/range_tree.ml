@@ -37,3 +37,5 @@ let distinct_below t ~lo ~hi ~key =
 let stats_bytes t =
   let outer = (Mst.stats t.outer).Mst.heap_bytes in
   Array.fold_left (fun acc m -> acc + (Mst.stats m).Mst.heap_bytes) outer t.inner
+
+let footprint_bytes = stats_bytes

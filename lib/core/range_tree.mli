@@ -33,3 +33,6 @@ val distinct_below : t -> lo:int -> hi:int -> key:int -> int
 
 val stats_bytes : t -> int
 (** Total heap bytes of all component trees. *)
+
+val footprint_bytes : t -> int
+(** Alias of {!stats_bytes}: the repo-wide memory-accounting contract. *)

@@ -35,3 +35,7 @@ let of_ints ?pool values =
   let permutation = Array.init n (fun i -> i) in
   Parallel_sort.sort_pairs pool ~key ~payload:permutation;
   of_sorted_permutation n permutation ~ties:(fun i j -> values.(i) = values.(j))
+
+let footprint_bytes e =
+  8
+  * (3 + 3 + Array.length e.rank_codes + Array.length e.row_codes + Array.length e.permutation)

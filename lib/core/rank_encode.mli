@@ -20,6 +20,10 @@ type t = {
           functions is built over this array. *)
 }
 
+val footprint_bytes : t -> int
+(** Bytes held by the three code arrays (incl. headers) — the repo-wide
+    memory-accounting contract. *)
+
 val of_cmp : int -> cmp:(int -> int -> int) -> t
 (** [of_cmp n ~cmp] encodes rows [0..n-1] under an arbitrary row comparator
     (which must be a total preorder). *)

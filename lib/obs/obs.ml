@@ -8,6 +8,10 @@ type span = {
   t0_ns : int;
   mutable dur_ns : int;
   mutable args : (string * string) list;
+  mutable alloc_w : int;
+  mutable promoted_w : int;
+  mutable majors : int;
+  mutable bytes : int;
 }
 
 (* The enabled flag is the whole fast-path contract: every tracing entry
@@ -55,14 +59,37 @@ let span ?args name f =
         t0_ns = now_ns ();
         dur_ns = 0;
         args = [];
+        alloc_w = 0;
+        promoted_w = 0;
+        majors = 0;
+        bytes = 0;
       }
     in
     (* Recorded at start so nesting order in the buffer is start order
        (parents strictly before children), which [render] relies on. *)
     record s;
     stack := s :: !stack;
+    (* GC deltas are sampled only inside the enabled branch, keeping the
+       one-atomic-load disabled contract.  [Gc.minor_words] reads the
+       domain's precise allocation pointer ([Gc.quick_stat]'s minor tally
+       only advances at minor collections, which would attribute whole
+       minor heaps to whichever span a collection lands in); the major
+       and promotion tallies come from [quick_stat].  Neither forces a
+       collection.  Work that the span offloads to pool workers on other
+       domains is attributed to those workers' spans, not to this one. *)
+    let g0 = Gc.quick_stat () in
+    let m0 = Gc.minor_words () in
     let finish () =
       s.dur_ns <- now_ns () - s.t0_ns;
+      let minor = Gc.minor_words () -. m0 in
+      let g1 = Gc.quick_stat () in
+      let major = g1.Gc.major_words -. g0.Gc.major_words in
+      let promoted = g1.Gc.promoted_words -. g0.Gc.promoted_words in
+      (* words freshly allocated: minor + direct-to-major, not counting
+         promotions twice (promoted words appear in both tallies) *)
+      s.alloc_w <- int_of_float (minor +. major -. promoted);
+      s.promoted_w <- int_of_float promoted;
+      s.majors <- g1.Gc.major_collections - g0.Gc.major_collections;
       (match args with None -> () | Some g -> s.args <- s.args @ g ());
       match !stack with _ :: tl -> stack := tl | [] -> ()
     in
@@ -79,6 +106,12 @@ let annotate kvs =
   if Atomic.get enabled_flag then
     match !(Domain.DLS.get stack_key) with
     | s :: _ -> s.args <- s.args @ kvs
+    | [] -> ()
+
+let record_bytes f =
+  if Atomic.get enabled_flag then
+    match !(Domain.DLS.get stack_key) with
+    | s :: _ -> s.bytes <- s.bytes + f ()
     | [] -> ()
 
 module Counter = struct
@@ -119,14 +152,195 @@ module Counter = struct
     Mutex.unlock reg_mutex
 end
 
-type trace = { spans : span list; counters : (string * int) list; dropped : int }
+module Histogram = struct
+  (* Log-bucketed histogram, HDR-style with 16 sub-buckets per octave:
+     values 0..15 are exact; a value v >= 16 with most-significant bit p
+     lands in bucket 16*(p-3) + the next four bits below the MSB.  The
+     relative quantisation error is therefore < 1/16 ≈ 6%, buckets are
+     computed with two shifts and a mask, and 960 buckets cover the whole
+     non-negative [int] range.  Quantiles are reported as the *lower
+     bound* of the bucket the quantile falls in, so they never
+     over-report. *)
+  let bucket_count = 960
+
+  let bucket_of_value v =
+    if v < 16 then if v < 0 then 0 else v
+    else begin
+      let p = ref 4 in
+      while v lsr (!p + 1) > 0 do
+        incr p
+      done;
+      (16 * (!p - 3)) + ((v lsr (!p - 4)) land 15)
+    end
+
+  let bucket_lower_bound b =
+    if b < 16 then b
+    else begin
+      let p = (b / 16) + 3 and sub = b mod 16 in
+      (16 + sub) lsl (p - 4)
+    end
+
+  type t = {
+    name : string;
+    counts : int array;
+    mutable n : int;
+    mutable sum : int;
+    mutable min_v : int;
+    mutable max_v : int;
+    lock : Mutex.t;
+  }
+
+  type summary = {
+    count : int;
+    sum : int;
+    min : int;
+    max : int;
+    p50 : int;
+    p90 : int;
+    p99 : int;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+  let reg_mutex = Mutex.create ()
+
+  let make name =
+    Mutex.lock reg_mutex;
+    let h =
+      match Hashtbl.find_opt registry name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              name;
+              counts = Array.make bucket_count 0;
+              n = 0;
+              sum = 0;
+              min_v = max_int;
+              max_v = min_int;
+              lock = Mutex.create ();
+            }
+          in
+          Hashtbl.add registry name h;
+          h
+    in
+    Mutex.unlock reg_mutex;
+    h
+
+  let name h = h.name
+
+  let add_always h v =
+    let v = if v < 0 then 0 else v in
+    Mutex.lock h.lock;
+    let b = bucket_of_value v in
+    h.counts.(b) <- h.counts.(b) + 1;
+    h.n <- h.n + 1;
+    h.sum <- h.sum + v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v;
+    Mutex.unlock h.lock
+
+  let add h v = if Atomic.get enabled_flag then add_always h v
+
+  let count h = h.n
+
+  (* Smallest recorded value whose cumulative count reaches [q * n],
+     reported as its bucket's lower bound (exact for values < 16). *)
+  let quantile_locked h q =
+    if h.n = 0 then 0
+    else begin
+      let target =
+        let t = int_of_float (ceil (q *. float_of_int h.n)) in
+        if t < 1 then 1 else if t > h.n then h.n else t
+      in
+      let acc = ref 0 and b = ref 0 and found = ref (bucket_count - 1) in
+      (try
+         while !b < bucket_count do
+           acc := !acc + h.counts.(!b);
+           if !acc >= target then begin
+             found := !b;
+             raise Exit
+           end;
+           incr b
+         done
+       with Exit -> ());
+      let lo = bucket_lower_bound !found in
+      if lo > h.max_v then h.max_v else if lo < h.min_v then h.min_v else lo
+    end
+
+  let quantile h q =
+    Mutex.lock h.lock;
+    let v = quantile_locked h q in
+    Mutex.unlock h.lock;
+    v
+
+  let summarise_locked h =
+    {
+      count = h.n;
+      sum = h.sum;
+      min = (if h.n = 0 then 0 else h.min_v);
+      max = (if h.n = 0 then 0 else h.max_v);
+      p50 = quantile_locked h 0.50;
+      p90 = quantile_locked h 0.90;
+      p99 = quantile_locked h 0.99;
+    }
+
+  let summary h =
+    Mutex.lock h.lock;
+    let s = summarise_locked h in
+    Mutex.unlock h.lock;
+    s
+
+  let merge ~into src =
+    if into != src then begin
+      Mutex.lock src.lock;
+      let counts = Array.copy src.counts in
+      let n = src.n and sum = src.sum and min_v = src.min_v and max_v = src.max_v in
+      Mutex.unlock src.lock;
+      Mutex.lock into.lock;
+      Array.iteri (fun b c -> into.counts.(b) <- into.counts.(b) + c) counts;
+      into.n <- into.n + n;
+      into.sum <- into.sum + sum;
+      if min_v < into.min_v then into.min_v <- min_v;
+      if max_v > into.max_v then into.max_v <- max_v;
+      Mutex.unlock into.lock
+    end
+
+  let reset h =
+    Mutex.lock h.lock;
+    Array.fill h.counts 0 bucket_count 0;
+    h.n <- 0;
+    h.sum <- 0;
+    h.min_v <- max_int;
+    h.max_v <- min_int;
+    Mutex.unlock h.lock
+
+  let snapshot () =
+    Mutex.lock reg_mutex;
+    let all = Hashtbl.fold (fun n h acc -> (n, h) :: acc) registry [] in
+    Mutex.unlock reg_mutex;
+    List.filter_map
+      (fun (n, h) -> if h.n = 0 then None else Some (n, summary h))
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) all)
+
+  let reset_all () =
+    Mutex.lock reg_mutex;
+    Hashtbl.iter (fun _ h -> reset h) registry;
+    Mutex.unlock reg_mutex
+end
+
+type trace = {
+  spans : span list;
+  counters : (string * int) list;
+  hists : (string * Histogram.summary) list;
+  dropped : int;
+}
 
 let capture () =
   Mutex.lock buf_mutex;
   let spans = List.rev !buf and dropped = !buf_dropped in
   Mutex.unlock buf_mutex;
   let counters = List.filter (fun (_, v) -> v <> 0) (Counter.snapshot ()) in
-  { spans; counters; dropped }
+  { spans; counters; hists = Histogram.snapshot (); dropped }
 
 let reset () =
   Mutex.lock buf_mutex;
@@ -134,7 +348,8 @@ let reset () =
   buf_len := 0;
   buf_dropped := 0;
   Mutex.unlock buf_mutex;
-  Counter.reset_all ()
+  Counter.reset_all ();
+  Histogram.reset_all ()
 
 let with_capture f =
   let was = enabled () in
@@ -167,9 +382,44 @@ let totals tr =
       (n, (c, float_of_int d *. 1e-9)))
     !order
 
+let self_totals tr =
+  (* Duration of each span's *direct* children, by parent id; a span's
+     self time is its duration minus that, clamped at zero (clock skew
+     between nested reads can make the sum overshoot by a few ns). *)
+  let child_ns : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      if s.parent >= 0 then
+        let prev = match Hashtbl.find_opt child_ns s.parent with Some d -> d | None -> 0 in
+        Hashtbl.replace child_ns s.parent (prev + s.dur_ns))
+    tr.spans;
+  let order = ref [] in
+  let tbl : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let nested = match Hashtbl.find_opt child_ns s.id with Some d -> d | None -> 0 in
+      let self = max 0 (s.dur_ns - nested) in
+      match Hashtbl.find_opt tbl s.name with
+      | None ->
+          order := s.name :: !order;
+          Hashtbl.add tbl s.name (1, self)
+      | Some (c, d) -> Hashtbl.replace tbl s.name (c + 1, d + self))
+    tr.spans;
+  List.rev_map
+    (fun n ->
+      let c, d = Hashtbl.find tbl n in
+      (n, (c, float_of_int d *. 1e-9)))
+    !order
+
 (* --- rendering ------------------------------------------------------- *)
 
 let ms ns = Printf.sprintf "%.3f ms" (float_of_int ns /. 1e6)
+
+let human_bytes b =
+  if b < 1024 then Printf.sprintf "%d B" b
+  else if b < 1024 * 1024 then Printf.sprintf "%.1f KB" (float_of_int b /. 1024.0)
+  else if b < 1024 * 1024 * 1024 then Printf.sprintf "%.1f MB" (float_of_int b /. (1024.0 *. 1024.0))
+  else Printf.sprintf "%.1f GB" (float_of_int b /. (1024.0 *. 1024.0 *. 1024.0))
 
 let args_to_string = function
   | [] -> ""
@@ -218,6 +468,8 @@ let render tr =
         let head = List.hd members in
         let count = List.length members in
         let total = List.fold_left (fun acc s -> acc + s.dur_ns) 0 members in
+        let bytes = List.fold_left (fun acc s -> acc + s.bytes) 0 members in
+        let alloc = List.fold_left (fun acc s -> acc + s.alloc_w) 0 members in
         let label =
           head.name ^ args_to_string head.args
           ^ if count > 1 then Printf.sprintf " x%d" count else ""
@@ -225,7 +477,15 @@ let render tr =
         let indent = String.make (2 * depth) ' ' in
         let line = indent ^ label in
         let pad = max 1 (56 - String.length line) in
-        Buffer.add_string b (line ^ String.make pad ' ' ^ Printf.sprintf "%12s" (ms total) ^ "\n");
+        (* memory columns: structure bytes are deterministic (exact
+           arithmetic or reachable-word counts of built structures, via
+           [record_bytes]); allocated words are maskable like times. *)
+        let mem = if bytes = 0 then "-" else human_bytes bytes in
+        let alloc_s = Printf.sprintf "%.1f kw" (float_of_int alloc /. 1e3) in
+        Buffer.add_string b
+          (line ^ String.make pad ' '
+          ^ Printf.sprintf "%12s %10s %12s" (ms total) mem alloc_s
+          ^ "\n");
         emit (depth + 1) (List.concat_map (fun s -> children_of s.id) members))
       (List.rev !seen)
   in
@@ -245,6 +505,21 @@ let render tr =
         let pad = max 1 (56 - String.length line) in
         Buffer.add_string b (line ^ String.make pad ' ' ^ shown ^ "\n"))
       tr.counters
+  end;
+  if tr.hists <> [] then begin
+    Buffer.add_string b "histograms\n";
+    List.iter
+      (fun (n, (s : Histogram.summary)) ->
+        let is_ns = String.length n > 3 && String.sub n (String.length n - 3) 3 = "_ns" in
+        let v x = if is_ns then ms x else string_of_int x in
+        let line = "  " ^ n in
+        let pad = max 1 (56 - String.length line) in
+        Buffer.add_string b
+          (line ^ String.make pad ' '
+          ^ Printf.sprintf "n=%d p50=%s p90=%s p99=%s max=%s" s.Histogram.count
+              (v s.Histogram.p50) (v s.Histogram.p90) (v s.Histogram.p99) (v s.Histogram.max)
+          ^ "\n"))
+      tr.hists
   end;
   if tr.dropped > 0 then
     Buffer.add_string b (Printf.sprintf "(%d spans dropped: buffer full)\n" tr.dropped);
@@ -283,13 +558,19 @@ let to_chrome_json tr =
         (Printf.sprintf
            "{\"name\":\"%s\",\"cat\":\"holistic\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f"
            (json_escape s.name) s.tid ts dur);
-      if s.args <> [] then begin
+      let args =
+        s.args
+        @ (if s.alloc_w > 0 then [ ("alloc_kw", Printf.sprintf "%.1f" (float_of_int s.alloc_w /. 1e3)) ] else [])
+        @ (if s.bytes > 0 then [ ("bytes", string_of_int s.bytes) ] else [])
+        @ if s.majors > 0 then [ ("major_gcs", string_of_int s.majors) ] else []
+      in
+      if args <> [] then begin
         Buffer.add_string b ",\"args\":{";
         List.iteri
           (fun i (k, v) ->
             if i > 0 then Buffer.add_char b ',';
             Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
-          s.args;
+          args;
         Buffer.add_char b '}'
       end;
       Buffer.add_char b '}')

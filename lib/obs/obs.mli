@@ -1,14 +1,16 @@
 (** Low-overhead execution tracing: nested monotonic-clock spans, named
-    counters, a process-wide registry, a plan-tree renderer and Chrome
-    [trace_event] JSON export.
+    counters, log-bucketed latency histograms, per-span memory accounting,
+    a process-wide registry, a plan-tree renderer and Chrome [trace_event]
+    JSON export.
 
     The overhead contract: when tracing is disabled (the default), every
-    entry point costs one atomic load and returns — no clock reads, no
-    buffer writes, no formatting.  Argument lists are therefore passed as
-    thunks ([?args]) that are only forced when a span finishes with
-    tracing on.  Instrumentation sits at partition/stage granularity,
-    never per row, so even the call-site closure allocations are
-    negligible (see DESIGN.md "Observability"). *)
+    entry point costs one atomic load and returns — no clock reads, no GC
+    sampling, no buffer writes, no formatting.  Argument lists and byte
+    counts are therefore passed as thunks ([?args], {!record_bytes}) that
+    are only forced with tracing on.  Instrumentation sits at
+    partition/stage granularity, never per row, so even the call-site
+    closure allocations are negligible (see DESIGN.md "Observability" and
+    "Resource observability"). *)
 
 val now_ns : unit -> int
 (** Monotonic clock, nanoseconds since an arbitrary origin. *)
@@ -21,11 +23,24 @@ val span : ?args:(unit -> (string * string) list) -> string -> (unit -> 'a) -> '
 (** [span name f] runs [f ()]; with tracing enabled it records a span
     covering the call, parented under the innermost open span of the
     current domain.  [args] is forced once, when the span finishes.  The
-    span is closed (and recorded) even if [f] raises. *)
+    span is closed (and recorded) even if [f] raises.
+
+    Each enabled span also samples [Gc.quick_stat] at entry and exit and
+    stores the deltas: words allocated ([alloc_w], minor + direct-major,
+    promotions not double-counted), words promoted and major collections
+    finished during the span.  The counters are per-domain — work a span
+    hands to pool workers is accounted to the workers' own spans. *)
 
 val annotate : (string * string) list -> unit
 (** Append key/value arguments to the innermost open span of the current
     domain.  No-op when tracing is disabled or no span is open. *)
+
+val record_bytes : (unit -> int) -> unit
+(** [record_bytes f] adds [f ()] bytes to the innermost open span of the
+    current domain — the footprint of a structure the span just built.
+    The thunk is only forced with tracing on, so call sites may use
+    [Obj.reachable_words]-based accounting freely.  No-op when disabled
+    or no span is open. *)
 
 module Counter : sig
   type t
@@ -53,6 +68,71 @@ module Counter : sig
   val reset_all : unit -> unit
 end
 
+module Histogram : sig
+  (** Process-wide registered log-bucketed histograms for latency (or any
+      non-negative integer) distributions.  HDR-style bucketing with 16
+      sub-buckets per power of two: values 0–15 are exact, larger values
+      quantise with < 1/16 relative error, and 960 buckets cover the whole
+      non-negative [int] range.  Recording takes a per-histogram mutex —
+      fine at stage granularity, not meant for per-row use. *)
+
+  type t
+
+  type summary = {
+    count : int;
+    sum : int;
+    min : int;
+    max : int;
+    p50 : int;
+    p90 : int;
+    p99 : int;
+  }
+
+  val make : string -> t
+  (** Find-or-create the histogram registered under this name. *)
+
+  val name : t -> string
+
+  val add : t -> int -> unit
+  (** Gated: no-op while tracing is disabled (same one-atomic-load fast
+      path as {!Counter.add}).  Negative values clamp to 0. *)
+
+  val add_always : t -> int -> unit
+  (** Ungated: always records, e.g. for bench harness timing loops that
+      run with tracing off. *)
+
+  val count : t -> int
+
+  val quantile : t -> float -> int
+  (** [quantile h q] for [q ∈ (0, 1]]: the smallest recorded bucket whose
+      cumulative count reaches [q·count], reported as the bucket's lower
+      bound clamped into [[min, max]] — a conservative (never
+      over-reporting) estimate, exact for values < 16.  0 when empty. *)
+
+  val summary : t -> summary
+
+  val merge : into:t -> t -> unit
+  (** Fold [src]'s recorded values into [into] (e.g. per-domain histograms
+      into a global one).  Merging a histogram into itself is a no-op. *)
+
+  val reset : t -> unit
+
+  val snapshot : unit -> (string * summary) list
+  (** All registered histograms with at least one recorded value, sorted
+      by name. *)
+
+  val reset_all : unit -> unit
+
+  (**/**)
+
+  (* Exposed for white-box tests and bucket-layout tooling. *)
+  val bucket_count : int
+  val bucket_of_value : int -> int
+  val bucket_lower_bound : int -> int
+
+  (**/**)
+end
+
 type span = {
   id : int;
   parent : int;  (** -1 for roots *)
@@ -61,37 +141,58 @@ type span = {
   t0_ns : int;
   mutable dur_ns : int;
   mutable args : (string * string) list;
+  mutable alloc_w : int;  (** words allocated during the span (this domain) *)
+  mutable promoted_w : int;  (** words promoted minor→major during the span *)
+  mutable majors : int;  (** major collections finished during the span *)
+  mutable bytes : int;  (** structure bytes attributed via {!record_bytes} *)
 }
 
 type trace = {
   spans : span list;  (** in start order: parents precede children *)
   counters : (string * int) list;  (** non-zero registered counters *)
+  hists : (string * Histogram.summary) list;  (** non-empty histograms *)
   dropped : int;  (** spans lost to the bounded buffer *)
 }
 
 val capture : unit -> trace
 val reset : unit -> unit
-(** Clear the span buffer and zero every registered counter. *)
+(** Clear the span buffer, zero every registered counter and reset every
+    registered histogram. *)
 
 val with_capture : (unit -> 'a) -> 'a * trace
 (** [with_capture f]: reset, enable, run [f], capture, restore the
-    previous enabled state.  The trace contains exactly the spans and
-    counter increments of this run. *)
+    previous enabled state.  The trace contains exactly the spans,
+    counter increments and histogram records of this run. *)
 
 val totals : trace -> (string * (int * float)) list
 (** Per span name, in first-appearance order: (count, total seconds).
-    Nested spans of the same name double-count; intended for flat phase
-    breakdowns like [bench/profile.ml]. *)
+    Nested spans of the same name double-count; see {!self_totals}. *)
+
+val self_totals : trace -> (string * (int * float)) list
+(** Per span name, in first-appearance order: (count, total {e self}
+    seconds — each span's duration minus its direct children's).  Unlike
+    {!totals} this neither double-counts nested same-name spans nor
+    attributes a child's time to its parent, so the values sum to the
+    roots' wall time; used by [bench/profile.ml] phase breakdowns. *)
+
+val human_bytes : int -> string
+(** ["842 B"], ["1.4 KB"], ["26.0 MB"], ... — deterministic for a given
+    byte count (used for the render memory column and EXPLAIN ANALYZE). *)
 
 val render : trace -> string
 (** Plan-tree rendering: spans indented under their parents, sibling
-    spans with identical (name, args) aggregated into one [xN] line, a
-    trailing counter table.  Times (and [_ns]-suffixed counters) print as
-    ["%.3f ms"] so tests can mask them with a regexp. *)
+    spans with identical (name, args) aggregated into one [xN] line, and
+    per line three columns — wall time, structure bytes recorded via
+    {!record_bytes} ([-] when none), and allocated words.  A trailing
+    counter table and histogram table follow.  Times, [_ns]-suffixed
+    counters/histograms and allocation figures print as ["%.3f ms"] /
+    ["%.1f kw"] so tests can mask them with a regexp; structure bytes are
+    deterministic and left unmasked. *)
 
 val to_chrome_json : trace -> string
 (** Chrome [trace_event] JSON (open in chrome://tracing or Perfetto):
-    spans as ph="X" complete events with tid = domain id, counters as a
-    final ph="C" event. *)
+    spans as ph="X" complete events with tid = domain id and
+    alloc/bytes/GC args when non-zero, counters as a final ph="C"
+    event. *)
 
 val write_chrome_trace : string -> trace -> unit

@@ -1,6 +1,16 @@
 open Holistic_parallel
 module Obs = Holistic_obs.Obs
 
+(* Transient merge scratch: two arrays the size of the input per merge
+   phase.  Counted separately from [mem.structure_bytes] because the
+   total depends on pool size and run count, so it must not feed the
+   deterministic structure tally that goldens and the bench gate check. *)
+let c_scratch_bytes = Obs.Counter.make "sort.scratch_bytes"
+
+let note_scratch n =
+  Obs.Counter.add c_scratch_bytes (8 * 2 * n);
+  Obs.record_bytes (fun () -> 8 * (2 + (2 * n)))
+
 let sort_runs pool ?(task_size = Task_pool.default_task_size) ~key ~payload () =
   let n = Array.length key in
   if Array.length payload <> n then invalid_arg "Parallel_sort.sort_runs: length mismatch";
@@ -28,6 +38,7 @@ let merge_runs pool ~key ~payload ~runs =
         [ ("n", string_of_int total); ("runs", string_of_int (Array.length runs)) ])
     @@ fun () ->
     begin
+    note_scratch total;
     let scratch_key = Array.make total 0 in
     let scratch_payload = Array.make total 0 in
     let segments = max 1 (Task_pool.size pool) in
@@ -89,6 +100,7 @@ let sort_multiword pool ?task_size ~mw () =
       ~args:(fun () -> [ ("n", string_of_int n); ("runs", string_of_int nruns) ])
     @@ fun () ->
     begin
+    note_scratch n;
     let scratch_key = Array.make n 0 in
     let scratch_payload = Array.make n 0 in
     let segments = max 1 (Task_pool.size pool) in

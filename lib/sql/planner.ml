@@ -284,7 +284,9 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ~tables (q : Ast.query) =
               done;
               let keep = Array.of_list !keep in
               kept := Array.length keep;
-              Table.gather table keep)
+              let filtered = Table.gather table keep in
+              Obs.record_bytes (fun () -> Table.footprint_bytes filtered);
+              filtered)
         in
         filtered
   in
@@ -365,7 +367,11 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ~tables (q : Ast.query) =
             (name, Table.column with_windows c)
         | `Expr e ->
             let f = Expr.compile with_windows (lower_expr table e) in
-            (name, Column.of_values (Array.init (Table.nrows with_windows) f)))
+            let col = Column.of_values (Array.init (Table.nrows with_windows) f) in
+            (* only freshly materialised expression columns count; window
+               outputs and pass-through base columns are shared *)
+            Obs.record_bytes (fun () -> Column.footprint_bytes col);
+            (name, col))
       items
   in
   let result = Table.create out_columns in

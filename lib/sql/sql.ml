@@ -175,7 +175,8 @@ let explain_analyze ?pool ?fanout ?sample ?task_size ?algorithm ~tables src =
   let b = Buffer.create 1024 in
   Buffer.add_string b (explain_ast ast);
   Buffer.add_string b
-    (Printf.sprintf "rows: %d\n" (Holistic_storage.Table.nrows result));
+    (Printf.sprintf "rows: %d (%s)\n" (Holistic_storage.Table.nrows result)
+       (Holistic_obs.Obs.human_bytes (Holistic_storage.Table.footprint_bytes result)));
   Buffer.add_string b (Holistic_obs.Obs.render trace);
   (result, Buffer.contents b)
 

@@ -147,3 +147,5 @@ let distinct_ids t =
                 let id = Hashtbl.length table in
                 Hashtbl.add table a.(i) id;
                 id)
+
+let footprint_bytes c = 8 * Obj.reachable_words (Obj.repr c)

@@ -45,3 +45,8 @@ val distinct_ids : t -> int array
     value; other types go through an exact hash table, so — unlike the
     paper's sort-the-hashes shortcut (§6.7) — hash collisions cannot corrupt
     distinct counts. *)
+
+val footprint_bytes : t -> int
+(** Reachable bytes of the column (data array, null bitset, string
+    payloads) — the repo-wide memory-accounting contract.  Deterministic
+    for a given column; strings shared {e within} the column count once. *)

@@ -48,3 +48,5 @@ let print ?(max_rows = 20) ?(out = stdout) t =
   Printf.fprintf out "%s\n" (String.concat "-+-" (List.map (fun w -> String.make w '-') widths));
   List.iter (fun row -> Printf.fprintf out "%s\n" (line row)) rows;
   if shown < t.nrows then Printf.fprintf out "... (%d rows total)\n" t.nrows
+
+let footprint_bytes t = 8 * Obj.reachable_words (Obj.repr t)

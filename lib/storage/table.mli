@@ -23,3 +23,7 @@ val row_values : t -> int -> Value.t list
 
 val print : ?max_rows:int -> ?out:out_channel -> t -> unit
 (** Debug/CLI pretty printer. *)
+
+val footprint_bytes : t -> int
+(** Reachable bytes of the whole table in one traversal, so columns
+    sharing arrays (e.g. after {!add_column}) count once. *)

@@ -109,31 +109,54 @@ let create ?counters () =
 
 let counters t = t.counters
 
-(* Cache-wide observability: hits and misses across every accessor, and a
-   [build] span (tagged with the structure kind) around each miss, so
-   EXPLAIN ANALYZE shows what was constructed vs shared. *)
+(* Cache-wide observability: hits and misses across every accessor, a
+   [build] span (tagged with the structure kind) around each miss so
+   EXPLAIN ANALYZE shows what was constructed vs shared, and memory
+   accounting — each freshly built structure reports its
+   [footprint_bytes] to the open build span and to the deterministic
+   [mem.structure_bytes] counter. *)
 let c_hit = Obs.Counter.make "cache.hit"
 let c_miss = Obs.Counter.make "cache.miss"
+let c_struct_bytes = Obs.Counter.make "mem.structure_bytes"
 
-let memo ~kind tbl key build =
+(* per-structure footprints (repo-wide memory-accounting contract) *)
+let int_array_bytes a = 8 * (1 + Array.length a)
+let peers_bytes (a, b) = 8 * (3 + 2 + Array.length a + Array.length b)
+
+let seg_tree_bytes = function
+  | Sum_tree s -> Vsum_seg.footprint_bytes s
+  | Min_tree s -> Vmin_seg.footprint_bytes s
+  | Max_tree s -> Vmax_seg.footprint_bytes s
+
+let built ~bytes v =
+  (* called inside the build span, so the footprint lands on it; [bytes]
+     is only evaluated with tracing on (it may walk the structure) *)
+  if Obs.enabled () then begin
+    let b = bytes v in
+    Obs.record_bytes (fun () -> b);
+    Obs.Counter.add c_struct_bytes b
+  end;
+  v
+
+let memo ~kind ~bytes tbl key build =
   match Hashtbl.find_opt tbl key with
   | Some v ->
       Obs.Counter.incr c_hit;
       v
   | None ->
       Obs.Counter.incr c_miss;
-      let v = Obs.span "build" ~args:(fun () -> [ ("kind", kind) ]) build in
+      let v = Obs.span "build" ~args:(fun () -> [ ("kind", kind) ]) (fun () -> built ~bytes (build ())) in
       Hashtbl.add tbl key v;
       v
 
-let memo_tree ~kind tbl counters key build =
+let memo_tree ~kind ~bytes tbl counters key build =
   match Hashtbl.find_opt tbl key with
   | Some v ->
       Obs.Counter.incr c_hit;
       v
   | None ->
       Obs.Counter.incr c_miss;
-      let v = Obs.span "build" ~args:(fun () -> [ ("kind", kind) ]) build in
+      let v = Obs.span "build" ~args:(fun () -> [ ("kind", kind) ]) (fun () -> built ~bytes (build ())) in
       counters.tree_builds <- counters.tree_builds + 1;
       Hashtbl.add tbl key v;
       v
@@ -145,29 +168,49 @@ let encode t ~order build =
       e
   | None ->
       Obs.Counter.incr c_miss;
-      let e = Obs.span "build" ~args:(fun () -> [ ("kind", "encode") ]) build in
+      let e =
+        Obs.span "build"
+          ~args:(fun () -> [ ("kind", "encode") ])
+          (fun () -> built ~bytes:Rank_encode.footprint_bytes (build ()))
+      in
       t.counters.encode_builds <- t.counters.encode_builds + 1;
       Hashtbl.add t.encodes order e;
       e
 
-let remap t ~qual build = memo ~kind:"remap" t.remaps qual build
-let peers t ~order build = memo ~kind:"peers" t.peers order build
+let remap t ~qual build = memo ~kind:"remap" ~bytes:Remap.footprint_bytes t.remaps qual build
+let peers t ~order build = memo ~kind:"peers" ~bytes:peers_bytes t.peers order build
 
 let count_tree t ~cls ~order ~qual ~sample build =
   let kind = match cls with Rank_codes -> "mst.rank" | Row_codes -> "mst.row" | Select_perm -> "mst.select" in
-  memo_tree ~kind t.count_trees t.counters (cls, order, qual, sample) build
+  memo_tree ~kind ~bytes:Mstw.footprint_bytes t.count_trees t.counters (cls, order, qual, sample) build
 
 let range_tree t ~order ~qual ~sample build =
-  memo_tree ~kind:"range_tree" t.range_trees t.counters (order, qual, sample) build
+  memo_tree ~kind:"range_tree" ~bytes:Range_tree.footprint_bytes t.range_trees t.counters
+    (order, qual, sample) build
 
-let arg_ids t ~arg ~qual build = memo ~kind:"arg_ids" t.arg_ids (arg, qual) build
-let prev_array t ~arg ~qual build = memo ~kind:"prev" t.prev_arrays (arg, qual) build
+let arg_ids t ~arg ~qual build = memo ~kind:"arg_ids" ~bytes:int_array_bytes t.arg_ids (arg, qual) build
+let prev_array t ~arg ~qual build = memo ~kind:"prev" ~bytes:int_array_bytes t.prev_arrays (arg, qual) build
 
 let distinct_tree t ~arg ~qual ~sample build =
-  memo_tree ~kind:"mst.distinct" t.distinct_trees t.counters (arg, qual, sample) build
+  memo_tree ~kind:"mst.distinct" ~bytes:Mstw.footprint_bytes t.distinct_trees t.counters
+    (arg, qual, sample) build
 
 let annotated_tree t ~arg ~qual ~sample build =
-  memo_tree ~kind:"mst.annotated" t.annotated_trees t.counters (arg, qual, sample) build
+  memo_tree ~kind:"mst.annotated" ~bytes:Sum_count_mst.footprint_bytes t.annotated_trees t.counters
+    (arg, qual, sample) build
 
 let seg_tree t ~cls ~arg ~qual build =
-  memo_tree ~kind:"segment_tree" t.seg_trees t.counters (cls, arg, qual) build
+  memo_tree ~kind:"segment_tree" ~bytes:seg_tree_bytes t.seg_trees t.counters (cls, arg, qual) build
+
+let footprint_bytes t =
+  let sum bytes tbl = Hashtbl.fold (fun _ v acc -> acc + bytes v) tbl 0 in
+  sum Rank_encode.footprint_bytes t.encodes
+  + sum Remap.footprint_bytes t.remaps
+  + sum peers_bytes t.peers
+  + sum Mstw.footprint_bytes t.count_trees
+  + sum Range_tree.footprint_bytes t.range_trees
+  + sum int_array_bytes t.arg_ids
+  + sum int_array_bytes t.prev_arrays
+  + sum Mstw.footprint_bytes t.distinct_trees
+  + sum Sum_count_mst.footprint_bytes t.annotated_trees
+  + sum seg_tree_bytes t.seg_trees

@@ -117,3 +117,9 @@ val annotated_tree :
 
 val seg_tree :
   t -> cls:seg_class -> arg:Expr.t -> qual:qual -> (unit -> seg_tree) -> seg_tree
+
+val footprint_bytes : t -> int
+(** Total bytes held by every structure currently cached — the sum of the
+    members' [footprint_bytes].  Each fresh build also reports its
+    footprint to the enclosing [build] span ({!Obs.record_bytes}) and to
+    the deterministic [mem.structure_bytes] counter as it happens. *)

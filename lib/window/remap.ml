@@ -25,6 +25,9 @@ let all np =
     identity = true;
   }
 
+let footprint_bytes t =
+  8 * (3 + 1 + Array.length t.prefix + 1 + Array.length t.positions)
+
 let filtered_count t = Array.length t.positions
 let count_before t r = t.prefix.(r)
 let qualifies t r = t.prefix.(r + 1) > t.prefix.(r)

@@ -10,6 +10,10 @@ val create : np:int -> qualifies:(int -> bool) -> t
 val all : int -> t
 (** Identity remap over [np] rows (no filtering). *)
 
+val footprint_bytes : t -> int
+(** Bytes held by the prefix and position arrays (incl. headers) — the
+    repo-wide memory-accounting contract. *)
+
 val filtered_count : t -> int
 
 val count_before : t -> int -> int

@@ -319,7 +319,8 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                       ("rows", string_of_int n);
                     ])
                   (fun () ->
-                    match !base with
+                    let ((perm, boundaries) as result) =
+                      match !base with
                     | None ->
                         let perm, b, comp = full_sort pool table ~pids ~order in
                         incr full_sorts;
@@ -361,7 +362,13 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                           sort_kind := "partial";
                           sort_comp := comp;
                           (perm, bnds)
-                        end)
+                        end
+                    in
+                    (* sort-stage working set: the permutation plus the
+                       partition boundary array this stage holds onto *)
+                    Obs.record_bytes (fun () ->
+                        8 * (2 + Array.length perm + Array.length boundaries));
+                    result)
               in
               Obs.span "eval"
                 ~args:(fun () ->
@@ -428,7 +435,9 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
           (fun acc (_, outs) ->
             List.fold_left
               (fun acc ((item : Window_func.t), out) ->
-                Table.add_column acc item.name (Column.of_values out))
+                let col = Column.of_values out in
+                Obs.record_bytes (fun () -> Column.footprint_bytes col);
+                Table.add_column acc item.name col)
               acc outs)
           table outputs)
   in
