@@ -21,6 +21,7 @@ type sizes = {
   ablation_rows : int;
   multiwindow_rows : int;
   sort_keys_rows : int;
+  scaling_rows : int;
 }
 
 let sizes ~scale ~quick =
@@ -37,6 +38,7 @@ let sizes ~scale ~quick =
     ablation_rows = f 200_000;
     multiwindow_rows = f 400_000;
     sort_keys_rows = f 1_000_000;
+    scaling_rows = f 400_000;
   }
 
 let experiments s =
@@ -59,6 +61,7 @@ let experiments s =
     ("ext-dense-rank", fun () -> Figures.ext_dense_rank ~scale:s.fig10_scale ());
     ("sql-multiwindow", fun () -> Multiwindow.run ~rows:s.multiwindow_rows ());
     ("sort-keys", fun () -> Sort_keys.run ~rows:s.sort_keys_rows ());
+    ("scaling", fun () -> Scaling.run ~rows:s.scaling_rows ());
     ("micro", Micro.run);
   ]
 

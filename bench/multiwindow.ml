@@ -116,8 +116,8 @@ let run ~rows () =
   H.note "plan: %d partition pass(es), %d full + %d partial sort(s), %d clause(s) reusing a sort"
     stats.partition_passes stats.full_sorts stats.partial_sorts stats.reused_sorts;
   H.note "builds: plan %d encodes / %d trees vs legacy %d encodes / %d trees" stats.encode_builds
-    stats.tree_builds legacy_counters.Build_cache.encode_builds
-    legacy_counters.Build_cache.tree_builds;
+    stats.tree_builds (Build_cache.encode_build_count legacy_counters)
+    (Build_cache.tree_build_count legacy_counters);
   if stats.partition_passes <> 1 || stats.full_sorts <> 1 then
     failwith "sql-multiwindow: expected one shared partition pass and one full sort";
   if stats.comparator_sorts <> 0 then
@@ -125,8 +125,8 @@ let run ~rows () =
       (Printf.sprintf "sql-multiwindow: %d sort(s) fell back to the comparator path"
          stats.comparator_sorts);
   if
-    stats.encode_builds >= legacy_counters.Build_cache.encode_builds
-    || stats.tree_builds >= legacy_counters.Build_cache.tree_builds
+    stats.encode_builds >= (Build_cache.encode_build_count legacy_counters)
+    || stats.tree_builds >= (Build_cache.tree_build_count legacy_counters)
   then failwith "sql-multiwindow: shared plan did not reduce encode/tree builds";
   (* memory accounting: one traced plan run; the [mem.structure_bytes]
      counter is deterministic for a given (table, clauses) pair, so the
@@ -196,8 +196,8 @@ let run ~rows () =
         ("plan.partition_passes", stats.partition_passes);
         ("plan.reused_sorts", stats.reused_sorts);
         ("plan.comparator_sorts", stats.comparator_sorts);
-        ("legacy.encode_builds", legacy_counters.Build_cache.encode_builds);
-        ("legacy.tree_builds", legacy_counters.Build_cache.tree_builds);
+        ("legacy.encode_builds", (Build_cache.encode_build_count legacy_counters));
+        ("legacy.tree_builds", (Build_cache.tree_build_count legacy_counters));
       ]
     ~histograms:(Holistic_obs.Obs.Histogram.snapshot ())
     ~series:

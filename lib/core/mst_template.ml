@@ -260,6 +260,7 @@ module Make (S : Mst_storage.S) = struct
        Word-width storage exposes its arrays directly and skips all of
        this. *)
     let narrow = n > 0 && S.as_ints levels.(0) = None in
+    let sequential = Task_pool.size pool = 1 || n <= Task_pool.default_task_size in
     let shadow_a = if narrow && h >= 1 then Array.make n 0 else [||] in
     let shadow_b = if narrow && h >= 2 then Array.make n 0 else [||] in
     let shadow_c =
@@ -283,30 +284,44 @@ module Make (S : Mst_storage.S) = struct
             (if j land 1 = 1 then shadow_a else shadow_b),
             shadow_c )
       in
-      (* Group whole runs into tasks of roughly the pool's task size; one
-         scratch per task, shared by all its runs. Tasks touch disjoint
-         spans of the shadows, and the pool joins between levels. *)
-      let runs_per_task = max 1 (Task_pool.default_task_size / l) in
-      Task_pool.parallel_for pool ~lo:0 ~hi:nruns ~chunk:runs_per_task (fun rlo rhi ->
-          let sc = make_scratch fanout in
-          for r = rlo to rhi - 1 do
-            let run_base = r * l in
-            let run_len = min l (n - run_base) in
-            merge_one_run ~sc ~src:sarr ~src_payload ~dst:darr ~dst_payload ~cursors:carr
-              ~state_base:(r * spr_j * fanout)
-              ~fanout ~sample ~run_base ~run_len ~child_stride:stride.(j - 1)
-          done;
-          if narrow then begin
-            let span_base = rlo * l in
-            let span_len = min (rhi * l) n - span_base in
-            S.blit_from_ints darr ~pos:span_base dst ~dst_pos:span_base ~len:span_len;
-            if sample > 0 then begin
-              let state_lo = rlo * spr_j * fanout in
-              let state_len = min (rhi * spr_j * fanout) states.(j - 1) - state_lo in
-              S.blit_from_ints carr ~pos:state_lo cursors.(j - 1) ~dst_pos:state_lo
-                ~len:state_len
-            end
-          end)
+      (* [merge_runs rlo rhi] merges runs [rlo, rhi) of this level — the
+         independent unit of work: one scratch per call, shared by all its
+         runs, and (on narrow widths) a narrowing blit of exactly the span
+         the calls' runs produced, done while that output is still
+         cache-warm. *)
+      let merge_runs rlo rhi =
+        let sc = make_scratch fanout in
+        for r = rlo to rhi - 1 do
+          let run_base = r * l in
+          let run_len = min l (n - run_base) in
+          merge_one_run ~sc ~src:sarr ~src_payload ~dst:darr ~dst_payload ~cursors:carr
+            ~state_base:(r * spr_j * fanout)
+            ~fanout ~sample ~run_base ~run_len ~child_stride:stride.(j - 1)
+        done;
+        if narrow then begin
+          let span_base = rlo * l in
+          let span_len = min (rhi * l) n - span_base in
+          S.blit_from_ints darr ~pos:span_base dst ~dst_pos:span_base ~len:span_len;
+          if sample > 0 then begin
+            let state_lo = rlo * spr_j * fanout in
+            let state_len = min (rhi * spr_j * fanout) states.(j - 1) - state_lo in
+            S.blit_from_ints carr ~pos:state_lo cursors.(j - 1) ~dst_pos:state_lo
+              ~len:state_len
+          end
+        end
+      in
+      (* Runs are independent, so above the sequential cutoff whole runs
+         are grouped into tasks of roughly the pool's task size; tasks
+         touch disjoint spans of the shadows, and the pool joins between
+         levels.  Below the cutoff (a tree under one task's worth of rows
+         — the common per-partition case, often itself built from inside a
+         partition morsel) the task machinery is skipped entirely so the
+         small-tree constant factor stays at the sequential build's. *)
+      if sequential then merge_runs 0 nruns
+      else begin
+        let runs_per_task = max 1 (Task_pool.default_task_size / l) in
+        Task_pool.parallel_for pool ~lo:0 ~hi:nruns ~chunk:runs_per_task merge_runs
+      end
     done;
     { n; fanout; sample; levels; payloads; stride; cursors; spr }
 

@@ -4,29 +4,63 @@ module Parallel_sort = Holistic_sort.Parallel_sort
 
 type t = { rank_codes : int array; row_codes : int array; permutation : int array }
 
-let of_sorted_permutation n permutation ~ties =
+let of_sorted_permutation ?pool n permutation ~ties =
   let rank_codes = Array.make n 0 in
   let row_codes = Array.make n 0 in
-  let code = ref 0 in
-  for r = 0 to n - 1 do
-    if r > 0 && not (ties permutation.(r - 1) permutation.(r)) then incr code;
-    rank_codes.(permutation.(r)) <- !code;
-    row_codes.(permutation.(r)) <- r
-  done;
+  let scatter_seq () =
+    let code = ref 0 in
+    for r = 0 to n - 1 do
+      if r > 0 && not (ties permutation.(r - 1) permutation.(r)) then incr code;
+      rank_codes.(permutation.(r)) <- !code;
+      row_codes.(permutation.(r)) <- r
+    done
+  in
+  (match pool with
+  | Some pool when Task_pool.size pool > 1 && n > Task_pool.default_task_size ->
+      (* Two-pass parallel scatter, bit-identical to the sequential loop:
+         the rank code at position [r] is the number of peer-group
+         boundaries in [1, r], so each chunk counts its own boundaries
+         (its first position compares against the last position of the
+         previous chunk), a serial prefix sum over the per-chunk counts
+         yields every chunk's absolute starting code, and a second pass
+         scatters.  Writes land at [permutation.(r)] — a permutation, so
+         chunks never collide. *)
+      let chunk = Task_pool.auto_chunk pool ~lo:0 ~hi:n ~max:Task_pool.default_task_size in
+      let nchunks = ((n - 1) / chunk) + 1 in
+      let bounds = Array.make nchunks 0 in
+      Task_pool.parallel_for pool ~chunk ~lo:0 ~hi:n (fun lo hi ->
+          let c = ref 0 in
+          for r = max 1 lo to hi - 1 do
+            if not (ties permutation.(r - 1) permutation.(r)) then incr c
+          done;
+          bounds.(lo / chunk) <- !c);
+      let starts = Array.make nchunks 0 in
+      for k = 1 to nchunks - 1 do
+        starts.(k) <- starts.(k - 1) + bounds.(k - 1)
+      done;
+      Task_pool.parallel_for pool ~chunk ~lo:0 ~hi:n (fun lo hi ->
+          let code = ref starts.(lo / chunk) in
+          for r = lo to hi - 1 do
+            if r > 0 && not (ties permutation.(r - 1) permutation.(r)) then incr code;
+            rank_codes.(permutation.(r)) <- !code;
+            row_codes.(permutation.(r)) <- r
+          done)
+  | _ -> scatter_seq ());
   { rank_codes; row_codes; permutation }
 
-let of_cmp n ~cmp =
+let of_cmp ?pool n ~cmp =
   let permutation = Introsort.sort_indices_by n ~cmp in
-  of_sorted_permutation n permutation ~ties:(fun i j -> cmp i j = 0)
+  of_sorted_permutation ?pool n permutation ~ties:(fun i j -> cmp i j = 0)
 
-let of_floats ?(desc = false) values =
+let of_floats ?pool ?(desc = false) values =
   let n = Array.length values in
   (* descending order = ascending order of the negated keys; negation is
      monotone and total for floats (including ±0.0, which already tie) *)
   let key = if desc then Array.map Float.neg values else Array.copy values in
   let permutation = Array.init n (fun i -> i) in
   Introsort.sort_float_pairs ~key ~payload:permutation;
-  of_sorted_permutation n permutation ~ties:(fun i j -> Float.compare values.(i) values.(j) = 0)
+  of_sorted_permutation ?pool n permutation ~ties:(fun i j ->
+      Float.compare values.(i) values.(j) = 0)
 
 let of_ints ?pool values =
   let pool = match pool with Some p -> p | None -> Task_pool.default () in
@@ -34,7 +68,7 @@ let of_ints ?pool values =
   let key = Array.copy values in
   let permutation = Array.init n (fun i -> i) in
   Parallel_sort.sort_pairs pool ~key ~payload:permutation;
-  of_sorted_permutation n permutation ~ties:(fun i j -> values.(i) = values.(j))
+  of_sorted_permutation ~pool n permutation ~ties:(fun i j -> values.(i) = values.(j))
 
 let footprint_bytes e =
   8

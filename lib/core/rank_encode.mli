@@ -24,7 +24,7 @@ val footprint_bytes : t -> int
 (** Bytes held by the three code arrays (incl. headers) — the repo-wide
     memory-accounting contract. *)
 
-val of_cmp : int -> cmp:(int -> int -> int) -> t
+val of_cmp : ?pool:Holistic_parallel.Task_pool.t -> int -> cmp:(int -> int -> int) -> t
 (** [of_cmp n ~cmp] encodes rows [0..n-1] under an arbitrary row comparator
     (which must be a total preorder). *)
 
@@ -32,7 +32,12 @@ val of_ints : ?pool:Holistic_parallel.Task_pool.t -> int array -> t
 (** Fast path for a single ascending integer key, using the parallel pair
     sort. *)
 
-val of_floats : ?desc:bool -> float array -> t
+val of_floats : ?pool:Holistic_parallel.Task_pool.t -> ?desc:bool -> float array -> t
 (** Fast path for a single plain float key (either direction), using the
     unboxed float pair sort. Equal floats tie; NaNs form their own top
     group. *)
+
+(** On every constructor, [pool] (plus an input above
+    {!Holistic_parallel.Task_pool.default_task_size} rows) parallelises the
+    code-array scatter as a two-pass chunked prefix sum; the arrays produced
+    are bit-identical to the sequential construction. *)

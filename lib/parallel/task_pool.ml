@@ -12,17 +12,30 @@ let c_queue_wait = Obs.Counter.make "pool.queue_wait_ns"
 
 type worker_stat = { mutable tasks : int; mutable busy_ns : int; mutable wait_ns : int }
 
+(* A batch is one unit of submission: its own task queue, its own pending
+   count and its own first-error slot.  Several batches may be in flight on
+   one pool at a time (the morsel-driven window plan submits partition
+   morsels while later sort stages still run their own [parallel_for]
+   batches), and each waiter only waits for — and preferentially helps —
+   its own batch. *)
+type batch = {
+  bq : (unit -> unit) Queue.t;
+  mutable pending : int; (* queued or running tasks of this batch *)
+  mutable first_error : exn option;
+}
+
 type shared = {
   mutex : Mutex.t;
-  work_available : Condition.t;
-  batch_done : Condition.t;
-  queue : (unit -> unit) Queue.t;
-  mutable pending : int; (* queued or running tasks of the current batch *)
-  mutable first_error : exn option;
+  (* One condition for every state change: work arriving, a batch
+     completing, shutdown.  Wakeups are coarse but task granularity is
+     thousands of rows, so spurious broadcasts are noise. *)
+  cond : Condition.t;
+  mutable active : batch list; (* batches with queued tasks, FIFO *)
   mutable stop : bool;
 }
 
 type t = {
+  id : int;
   shared : shared;
   workers : unit Domain.t array;
   n : int;
@@ -30,76 +43,124 @@ type t = {
   mutable alive : bool;
 }
 
-let record_error shared e =
+let next_pool_id = Atomic.make 0
+
+(* Stack of pool ids whose tasks are executing on this domain.  A nested
+   [run_list]/[parallel_for] on a pool that is already running one of its
+   tasks here executes inline: the pool's workers are busy by construction
+   (they are running the enclosing batch), and blocking a worker on a
+   sub-batch of the same pool could deadlock a fully-loaded pool. *)
+let in_task_key : int list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let inside t = List.memq t.id !(Domain.DLS.get in_task_key)
+
+let record_error b e = if b.first_error = None then b.first_error <- Some e
+
+(* Run one task of [b], capturing its error into the batch; with tracing
+   on, also charge its wall time to the executing worker's stat record and
+   the global pool counters.  The pool id is pushed on the domain's
+   in-task stack for the duration so nested submissions run inline.
+   Errors are recorded under [mutex]. *)
+let exec pool b stat task =
+  let stack = Domain.DLS.get in_task_key in
+  stack := pool.id :: !stack;
+  let fin () = match !stack with _ :: tl -> stack := tl | [] -> () in
+  let run () =
+    try task ()
+    with e ->
+      Mutex.lock pool.shared.mutex;
+      record_error b e;
+      Mutex.unlock pool.shared.mutex
+  in
+  (if Obs.enabled () then begin
+     let t0 = Obs.now_ns () in
+     run ();
+     let d = Obs.now_ns () - t0 in
+     stat.tasks <- stat.tasks + 1;
+     stat.busy_ns <- stat.busy_ns + d;
+     Obs.Counter.add c_tasks 1;
+     Obs.Counter.add c_busy d
+   end
+   else run ());
+  fin ()
+
+(* Pop one task from the first active batch, under [mutex].  Returns the
+   batch alongside the task so completion can be accounted to it. *)
+let pop_task shared =
+  let rec find = function
+    | [] -> None
+    | b :: rest ->
+        if Queue.is_empty b.bq then begin
+          (* stale entry: every task was already claimed *)
+          shared.active <- rest;
+          find rest
+        end
+        else begin
+          let task = Queue.pop b.bq in
+          if Queue.is_empty b.bq then shared.active <- rest;
+          Some (b, task)
+        end
+  in
+  find shared.active
+
+let finish_task shared b =
   Mutex.lock shared.mutex;
-  if shared.first_error = None then shared.first_error <- Some e;
+  b.pending <- b.pending - 1;
+  if b.pending = 0 then Condition.broadcast shared.cond;
   Mutex.unlock shared.mutex
 
-(* Run one task, capturing its error into the batch; with tracing on,
-   also charge its wall time to the executing worker's stat record and
-   the global pool counters.  Task granularity is coarse (thousands of
-   rows), so two clock reads per task are noise. *)
-let exec shared stat task =
-  if Obs.enabled () then begin
-    let t0 = Obs.now_ns () in
-    (try task () with e -> record_error shared e);
-    let d = Obs.now_ns () - t0 in
-    stat.tasks <- stat.tasks + 1;
-    stat.busy_ns <- stat.busy_ns + d;
-    Obs.Counter.add c_tasks 1;
-    Obs.Counter.add c_busy d
-  end
-  else try task () with e -> record_error shared e
-
-let worker_loop shared stat =
+let worker_loop pool stat =
+  let shared = pool.shared in
   let rec loop () =
     Mutex.lock shared.mutex;
-    if Obs.enabled () && Queue.is_empty shared.queue && not shared.stop then begin
-      let t0 = Obs.now_ns () in
-      while Queue.is_empty shared.queue && not shared.stop do
-        Condition.wait shared.work_available shared.mutex
-      done;
-      let d = Obs.now_ns () - t0 in
-      stat.wait_ns <- stat.wait_ns + d;
-      Obs.Counter.add c_wait d
-    end
-    else
-      while Queue.is_empty shared.queue && not shared.stop do
-        Condition.wait shared.work_available shared.mutex
-      done;
-    if shared.stop && Queue.is_empty shared.queue then Mutex.unlock shared.mutex
-    else begin
-      let task = Queue.pop shared.queue in
-      Mutex.unlock shared.mutex;
-      exec shared stat task;
-      Mutex.lock shared.mutex;
-      shared.pending <- shared.pending - 1;
-      if shared.pending = 0 then Condition.broadcast shared.batch_done;
-      Mutex.unlock shared.mutex;
-      loop ()
-    end
+    let rec next () =
+      match pop_task shared with
+      | Some bt -> Some bt
+      | None ->
+          if shared.stop then None
+          else begin
+            (if Obs.enabled () then begin
+               let t0 = Obs.now_ns () in
+               Condition.wait shared.cond shared.mutex;
+               let d = Obs.now_ns () - t0 in
+               stat.wait_ns <- stat.wait_ns + d;
+               Obs.Counter.add c_wait d
+             end
+             else Condition.wait shared.cond shared.mutex);
+            next ()
+          end
+    in
+    match next () with
+    | None -> Mutex.unlock shared.mutex
+    | Some (b, task) ->
+        Mutex.unlock shared.mutex;
+        exec pool b stat task;
+        finish_task shared b;
+        loop ()
   in
   loop ()
 
 let create n =
   if n < 1 then invalid_arg "Task_pool.create";
   let shared =
-    {
-      mutex = Mutex.create ();
-      work_available = Condition.create ();
-      batch_done = Condition.create ();
-      queue = Queue.create ();
-      pending = 0;
-      first_error = None;
-      stop = false;
-    }
+    { mutex = Mutex.create (); cond = Condition.create (); active = []; stop = false }
   in
   let stats = Array.init n (fun _ -> { tasks = 0; busy_ns = 0; wait_ns = 0 }) in
+  let pool =
+    {
+      id = Atomic.fetch_and_add next_pool_id 1;
+      shared;
+      workers = [||];
+      n;
+      stats;
+      alive = true;
+    }
+  in
   let workers =
     if n = 1 then [||]
-    else Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_loop shared stats.(i + 1)))
+    else Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool stats.(i + 1)))
   in
-  { shared; workers; n; stats; alive = true }
+  { pool with workers }
 
 let size t = t.n
 
@@ -120,7 +181,7 @@ let shutdown t =
     let s = t.shared in
     Mutex.lock s.mutex;
     s.stop <- true;
-    Condition.broadcast s.work_available;
+    Condition.broadcast s.cond;
     Mutex.unlock s.mutex;
     Array.iter Domain.join t.workers
   end
@@ -136,48 +197,106 @@ let stamp_queue_wait task =
       task ()
   end
 
-let run_list t tasks =
-  let s = t.shared in
-  if t.n = 1 then begin
-    s.first_error <- None;
-    List.iter (fun task -> exec s t.stats.(0) task) tasks;
-    let err = s.first_error in
-    s.first_error <- None;
-    match err with None -> () | Some e -> raise e
-  end
+(* Inline execution on the caller: the n=1 pool and every nested
+   submission from inside a pool task.  Same error contract as a real
+   batch — every task runs, the first exception is re-raised at the
+   end. *)
+let exec_inline t b task =
+  let stat = if inside t then { tasks = 0; busy_ns = 0; wait_ns = 0 } else t.stats.(0) in
+  exec t b stat task
+
+let raise_batch_error b =
+  match b.first_error with
+  | None -> ()
+  | Some e ->
+      b.first_error <- None;
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* Batches                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let new_batch () = { bq = Queue.create (); pending = 0; first_error = None }
+
+let submit t b task =
+  if t.n = 1 || inside t then exec_inline t b task
   else begin
+    let s = t.shared in
     Mutex.lock s.mutex;
-    s.first_error <- None;
-    List.iter
-      (fun task ->
-        s.pending <- s.pending + 1;
-        Queue.push (stamp_queue_wait task) s.queue)
-      tasks;
-    Condition.broadcast s.work_available;
-    (* The caller helps drain the queue instead of blocking idly. *)
-    let rec help () =
-      if not (Queue.is_empty s.queue) then begin
-        let task = Queue.pop s.queue in
-        Mutex.unlock s.mutex;
-        exec s t.stats.(0) task;
-        Mutex.lock s.mutex;
-        s.pending <- s.pending - 1;
-        if s.pending = 0 then Condition.broadcast s.batch_done;
-        help ()
-      end
-    in
-    help ();
-    while s.pending > 0 do
-      Condition.wait s.batch_done s.mutex
-    done;
-    let err = s.first_error in
-    s.first_error <- None;
-    Mutex.unlock s.mutex;
-    match err with None -> () | Some e -> raise e
+    b.pending <- b.pending + 1;
+    let was_empty = Queue.is_empty b.bq in
+    Queue.push (stamp_queue_wait task) b.bq;
+    if was_empty then s.active <- s.active @ [ b ];
+    Condition.broadcast s.cond;
+    Mutex.unlock s.mutex
   end
 
-let parallel_for t ~lo ~hi ~chunk f =
-  if chunk <= 0 then invalid_arg "Task_pool.parallel_for: chunk must be positive";
+(* Wait for [b] to drain, helping with [b]'s own queued tasks (never other
+   batches': stealing unrelated work here would couple this waiter's
+   latency to arbitrary foreign tasks). *)
+let wait t b =
+  (if not (t.n = 1 || inside t) then begin
+     let s = t.shared in
+     Mutex.lock s.mutex;
+     let rec help () =
+       if not (Queue.is_empty b.bq) then begin
+         let task = Queue.pop b.bq in
+         if Queue.is_empty b.bq then s.active <- List.filter (fun x -> x != b) s.active;
+         Mutex.unlock s.mutex;
+         exec t b t.stats.(0) task;
+         Mutex.lock s.mutex;
+         b.pending <- b.pending - 1;
+         if b.pending = 0 then Condition.broadcast s.cond;
+         help ()
+       end
+       else if b.pending > 0 then begin
+         Condition.wait s.cond s.mutex;
+         help ()
+       end
+     in
+     help ();
+     Mutex.unlock s.mutex
+   end);
+  raise_batch_error b
+
+let run_list t tasks =
+  if t.n = 1 || inside t then begin
+    let b = new_batch () in
+    List.iter (fun task -> exec_inline t b task) tasks;
+    raise_batch_error b
+  end
+  else begin
+    let b = new_batch () in
+    List.iter (fun task -> submit t b task) tasks;
+    wait t b
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Parallel for                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Derived chunk size: aim for several tasks per domain so small ranges
+   still spread across the pool (a fixed 20k-tuple chunk serialises any
+   range below 20k on one worker), capped at [max] (the paper's fixed
+   morsel size by default) so huge ranges keep cache-sized tasks. *)
+let tasks_per_domain = 4
+
+let auto_chunk t ~lo ~hi ~max:max_chunk =
+  let range = hi - lo in
+  if range <= 0 then 1
+  else begin
+    let target = (range + (tasks_per_domain * t.n) - 1) / (tasks_per_domain * t.n) in
+    max 1 (min max_chunk target)
+  end
+
+let parallel_for t ?chunk ?(chunk_max = default_task_size) ~lo ~hi f =
+  let chunk =
+    match chunk with
+    | Some c ->
+        if c <= 0 then invalid_arg "Task_pool.parallel_for: chunk must be positive";
+        c
+    | None -> auto_chunk t ~lo ~hi ~max:chunk_max
+  in
   if hi > lo then begin
     let tasks = ref [] in
     let pos = ref lo in
@@ -190,12 +309,33 @@ let parallel_for t ~lo ~hi ~chunk f =
     run_list t (List.rev !tasks)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Default pool                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* HOLIWIN_DOMAINS overrides the default pool's size (clamped to [1,128]);
+   unset or unparsable falls back to the runtime's recommendation.  This is
+   the one knob threaded through every entry point that defaults its pool
+   ([Executor.run], [Window_plan.run], [Sql.query], the benches). *)
+let domains_from_env () =
+  match Sys.getenv_opt "HOLIWIN_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some (min n 128)
+      | _ -> None)
+
 let default_pool = ref None
 
 let default () =
   match !default_pool with
   | Some p -> p
   | None ->
-      let p = create (Domain.recommended_domain_count ()) in
+      let n =
+        match domains_from_env () with
+        | Some n -> n
+        | None -> Domain.recommended_domain_count ()
+      in
+      let p = create n in
       default_pool := Some p;
       p

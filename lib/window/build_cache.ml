@@ -59,9 +59,14 @@ module Sum_count_mst = Annotated.Make (Sum_count_monoid)
 (* Cache                                                               *)
 (* ------------------------------------------------------------------ *)
 
-type counters = { mutable encode_builds : int; mutable tree_builds : int }
+(* Build totals are shared by every cache of a plan run and bumped from
+   whichever domain evaluates the partition, so they are atomics rather
+   than mutable ints. *)
+type counters = { encode_builds : int Atomic.t; tree_builds : int Atomic.t }
 
-let fresh_counters () = { encode_builds = 0; tree_builds = 0 }
+let fresh_counters () = { encode_builds = Atomic.make 0; tree_builds = Atomic.make 0 }
+let encode_build_count c = Atomic.get c.encode_builds
+let tree_build_count c = Atomic.get c.tree_builds
 
 type extra_filter = Ex_none | Ex_nonnull of Expr.t
 type qual = { filter : Expr.t option; extra : extra_filter }
@@ -77,34 +82,48 @@ type seg_tree = Sum_tree of Vsum_seg.t | Min_tree of Vmin_seg.t | Max_tree of Vm
    which is exactly the sharing rule: two items share a build iff their
    effective ORDER BY (and argument/filter, where the structure depends on
    them) are structurally equal. *)
+(* Each logical table is a [Hashtbl] behind its own mutex: the stdlib
+   table is not safe for concurrent mutation, and under the morsel-driven
+   plan a cache may be populated from several domains at once (and the
+   hammer test does exactly that on purpose).  The lock is held across the
+   build thunk, which gives exactly-once construction — a second domain
+   asking for the same key blocks until the structure exists, then reads
+   it as a plain hit.  Build thunks must not re-enter the same table (they
+   never do: the dependency chain runs encode → tree, remap → tree, and
+   each kind lives in its own table); cross-table nesting is fine because
+   each table has its own lock and the chain is acyclic. *)
+type ('k, 'v) guarded = { lock : Mutex.t; tbl : ('k, 'v) Hashtbl.t }
+
+let guarded n = { lock = Mutex.create (); tbl = Hashtbl.create n }
+
 type t = {
   counters : counters;
-  encodes : (Sort_spec.t, Rank_encode.t) Hashtbl.t;
-  remaps : (qual, Remap.t) Hashtbl.t;
-  peers : (Sort_spec.t, int array * int array) Hashtbl.t;
-  count_trees : (codes_class * Sort_spec.t * qual * int, Mstw.t) Hashtbl.t;
-  range_trees : (Sort_spec.t * qual * int, Range_tree.t) Hashtbl.t;
-  arg_ids : (Expr.t * qual, int array) Hashtbl.t;
-  prev_arrays : (Expr.t * qual, int array) Hashtbl.t;
-  distinct_trees : (Expr.t * qual * int, Mstw.t) Hashtbl.t;
-  annotated_trees : (Expr.t * qual * int, Sum_count_mst.t) Hashtbl.t;
-  seg_trees : (seg_class * Expr.t * qual, seg_tree) Hashtbl.t;
+  encodes : (Sort_spec.t, Rank_encode.t) guarded;
+  remaps : (qual, Remap.t) guarded;
+  peers : (Sort_spec.t, int array * int array) guarded;
+  count_trees : (codes_class * Sort_spec.t * qual * int, Mstw.t) guarded;
+  range_trees : (Sort_spec.t * qual * int, Range_tree.t) guarded;
+  arg_ids : (Expr.t * qual, int array) guarded;
+  prev_arrays : (Expr.t * qual, int array) guarded;
+  distinct_trees : (Expr.t * qual * int, Mstw.t) guarded;
+  annotated_trees : (Expr.t * qual * int, Sum_count_mst.t) guarded;
+  seg_trees : (seg_class * Expr.t * qual, seg_tree) guarded;
 }
 
 let create ?counters () =
   let counters = match counters with Some c -> c | None -> fresh_counters () in
   {
     counters;
-    encodes = Hashtbl.create 4;
-    remaps = Hashtbl.create 4;
-    peers = Hashtbl.create 4;
-    count_trees = Hashtbl.create 4;
-    range_trees = Hashtbl.create 4;
-    arg_ids = Hashtbl.create 4;
-    prev_arrays = Hashtbl.create 4;
-    distinct_trees = Hashtbl.create 4;
-    annotated_trees = Hashtbl.create 4;
-    seg_trees = Hashtbl.create 4;
+    encodes = guarded 4;
+    remaps = guarded 4;
+    peers = guarded 4;
+    count_trees = guarded 4;
+    range_trees = guarded 4;
+    arg_ids = guarded 4;
+    prev_arrays = guarded 4;
+    distinct_trees = guarded 4;
+    annotated_trees = guarded 4;
+    seg_trees = guarded 4;
   }
 
 let counters t = t.counters
@@ -138,44 +157,38 @@ let built ~bytes v =
   end;
   v
 
-let memo ~kind ~bytes tbl key build =
-  match Hashtbl.find_opt tbl key with
+(* The lock is held across the build (exactly-once under concurrency, see
+   the [guarded] note); [count] bumps the relevant build counter only when
+   a build actually ran. *)
+let memo_in ~kind ~bytes ?count g key build =
+  Mutex.lock g.lock;
+  match Hashtbl.find_opt g.tbl key with
   | Some v ->
+      Mutex.unlock g.lock;
       Obs.Counter.incr c_hit;
       v
-  | None ->
-      Obs.Counter.incr c_miss;
-      let v = Obs.span "build" ~args:(fun () -> [ ("kind", kind) ]) (fun () -> built ~bytes (build ())) in
-      Hashtbl.add tbl key v;
-      v
+  | None -> (
+      match
+        Obs.Counter.incr c_miss;
+        Obs.span "build" ~args:(fun () -> [ ("kind", kind) ]) (fun () -> built ~bytes (build ()))
+      with
+      | v ->
+          (match count with None -> () | Some c -> Atomic.incr c);
+          Hashtbl.add g.tbl key v;
+          Mutex.unlock g.lock;
+          v
+      | exception e ->
+          Mutex.unlock g.lock;
+          raise e)
 
-let memo_tree ~kind ~bytes tbl counters key build =
-  match Hashtbl.find_opt tbl key with
-  | Some v ->
-      Obs.Counter.incr c_hit;
-      v
-  | None ->
-      Obs.Counter.incr c_miss;
-      let v = Obs.span "build" ~args:(fun () -> [ ("kind", kind) ]) (fun () -> built ~bytes (build ())) in
-      counters.tree_builds <- counters.tree_builds + 1;
-      Hashtbl.add tbl key v;
-      v
+let memo ~kind ~bytes g key build = memo_in ~kind ~bytes g key build
+
+let memo_tree ~kind ~bytes g counters key build =
+  memo_in ~kind ~bytes ~count:counters.tree_builds g key build
 
 let encode t ~order build =
-  match Hashtbl.find_opt t.encodes order with
-  | Some e ->
-      Obs.Counter.incr c_hit;
-      e
-  | None ->
-      Obs.Counter.incr c_miss;
-      let e =
-        Obs.span "build"
-          ~args:(fun () -> [ ("kind", "encode") ])
-          (fun () -> built ~bytes:Rank_encode.footprint_bytes (build ()))
-      in
-      t.counters.encode_builds <- t.counters.encode_builds + 1;
-      Hashtbl.add t.encodes order e;
-      e
+  memo_in ~kind:"encode" ~bytes:Rank_encode.footprint_bytes ~count:t.counters.encode_builds
+    t.encodes order build
 
 let remap t ~qual build = memo ~kind:"remap" ~bytes:Remap.footprint_bytes t.remaps qual build
 let peers t ~order build = memo ~kind:"peers" ~bytes:peers_bytes t.peers order build
@@ -203,7 +216,12 @@ let seg_tree t ~cls ~arg ~qual build =
   memo_tree ~kind:"segment_tree" ~bytes:seg_tree_bytes t.seg_trees t.counters (cls, arg, qual) build
 
 let footprint_bytes t =
-  let sum bytes tbl = Hashtbl.fold (fun _ v acc -> acc + bytes v) tbl 0 in
+  let sum bytes g =
+    Mutex.lock g.lock;
+    let b = Hashtbl.fold (fun _ v acc -> acc + bytes v) g.tbl 0 in
+    Mutex.unlock g.lock;
+    b
+  in
   sum Rank_encode.footprint_bytes t.encodes
   + sum Remap.footprint_bytes t.remaps
   + sum peers_bytes t.peers

@@ -11,7 +11,15 @@
     encode and one tree build. Keys are pure ASTs compared structurally.
 
     A cache is valid for exactly one [(table, rows)] pair: the window plan
-    creates a fresh one per (stage, partition). *)
+    creates a fresh one per (stage, partition).
+
+    Thread safety: every accessor may be called from any domain
+    concurrently.  Each structure kind lives in its own mutex-guarded
+    table, and the lock is held across the build thunk, so a structure is
+    built exactly once per key — concurrent requests for the same key
+    block until it exists, then read it as a hit.  Build thunks must not
+    re-enter the cache table they are being built into (cross-kind
+    nesting is fine). *)
 
 open Holistic_storage
 module Mstw = Holistic_core.Mst_width
@@ -56,13 +64,18 @@ end
 
 module Sum_count_mst : module type of Holistic_core.Annotated_mst.Make (Sum_count_monoid)
 
-type counters = { mutable encode_builds : int; mutable tree_builds : int }
+type counters = { encode_builds : int Atomic.t; tree_builds : int Atomic.t }
 (** Running build totals, shared across caches (one [counters] record per
     plan run): [encode_builds] counts {!Rank_encode} constructions,
     [tree_builds] counts index-structure constructions (MSTs, annotated
-    MSTs, range trees, segment trees). *)
+    MSTs, range trees, segment trees).  Atomics: under the morsel-driven
+    plan the counts are bumped from whichever domain evaluates the
+    partition. *)
 
 val fresh_counters : unit -> counters
+
+val encode_build_count : counters -> int
+val tree_build_count : counters -> int
 
 type extra_filter = Ex_none | Ex_nonnull of Expr.t
 (** The implicit NULL-skipping component of a qualifying-row predicate:

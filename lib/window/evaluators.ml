@@ -78,12 +78,13 @@ let encode ctx order =
       | Some (Sort_spec.Int_key (keys, false)) ->
           Rank_encode.of_ints ~pool:ctx.pool (Array.map (fun row -> keys.(row)) ctx.rows)
       | Some (Sort_spec.Int_key (keys, true)) ->
-          Rank_encode.of_cmp n ~cmp:(fun i j -> compare keys.(ctx.rows.(j)) keys.(ctx.rows.(i)))
+          Rank_encode.of_cmp ~pool:ctx.pool n ~cmp:(fun i j ->
+              compare keys.(ctx.rows.(j)) keys.(ctx.rows.(i)))
       | Some (Sort_spec.Float_key (keys, desc)) ->
-          Rank_encode.of_floats ~desc (Array.map (fun row -> keys.(row)) ctx.rows)
+          Rank_encode.of_floats ~pool:ctx.pool ~desc (Array.map (fun row -> keys.(row)) ctx.rows)
       | None ->
           let cmp_rows = Sort_spec.comparator ctx.table order in
-          Rank_encode.of_cmp n ~cmp:(fun i j -> cmp_rows ctx.rows.(i) ctx.rows.(j)))
+          Rank_encode.of_cmp ~pool:ctx.pool n ~cmp:(fun i j -> cmp_rows ctx.rows.(i) ctx.rows.(j)))
 
 let mapped_ranges ctx rm r = Remap.map_ranges rm (Frame.ranges ctx.frame r)
 let covered_of ranges = Array.fold_left (fun acc (lo, hi) -> acc + hi - lo) 0 ranges

@@ -140,38 +140,43 @@ let full_sort pool table ~pids ~order =
    order's compiled key words are gathered once through the base
    permutation; ties fall back to deep words, the residual and finally the
    row id, so repeated runs agree. *)
-let partial_sort table ~base_perm ~boundaries ~order =
+let partial_sort pool table ~base_perm ~boundaries ~order =
   let perm = Array.copy base_perm in
   let n = Array.length perm in
+  let nparts = Array.length boundaries - 1 in
   let kc = Key_codec.compile table order in
   let words = kc.Key_codec.words in
   let comparator_path = Array.length words = 0 && kc.Key_codec.residual <> None in
+  (* Boundary segments are disjoint spans of [perm] (and [key]), so the
+     per-partition re-sorts are independent tasks; chunking over partition
+     indices keeps each task a run of consecutive segments. *)
+  let for_each_partition f =
+    Task_pool.parallel_for pool ~lo:0 ~hi:nparts (fun plo phi ->
+        for p = plo to phi - 1 do
+          f ~lo:boundaries.(p) ~hi:boundaries.(p + 1)
+        done)
+  in
   (if Array.length words = 0 then begin
      let cmp = Key_codec.comparator kc in
-     for p = 0 to Array.length boundaries - 2 do
-       Introsort.sort_by_range perm ~cmp ~lo:boundaries.(p) ~hi:boundaries.(p + 1)
-     done
+     for_each_partition (fun ~lo ~hi -> Introsort.sort_by_range perm ~cmp ~lo ~hi)
    end
    else begin
      let w0 = words.(0) in
      let key = Array.make n 0 in
-     for i = 0 to n - 1 do
-       key.(i) <- w0.(perm.(i))
-     done;
+     Task_pool.parallel_for pool ~lo:0 ~hi:n (fun lo hi ->
+         for i = lo to hi - 1 do
+           Array.unsafe_set key i (Array.unsafe_get w0 (Array.unsafe_get perm i))
+         done);
      match Array.length words, kc.Key_codec.residual with
      | 1, None ->
-         for p = 0 to Array.length boundaries - 2 do
-           Introsort.sort_pairs_range ~key ~payload:perm ~lo:boundaries.(p) ~hi:boundaries.(p + 1)
-         done
+         for_each_partition (fun ~lo ~hi -> Introsort.sort_pairs_range ~key ~payload:perm ~lo ~hi)
      | nw, residual ->
          let mw =
            { Multiway.key0 = key; payload = perm; deep = Array.sub words 1 (nw - 1); tie = residual }
          in
          let tie = Multiway.deep_compare mw in
-         for p = 0 to Array.length boundaries - 2 do
-           Introsort.sort_pairs_tie_range ~key ~payload:perm ~tie ~lo:boundaries.(p)
-             ~hi:boundaries.(p + 1)
-         done
+         for_each_partition (fun ~lo ~hi ->
+             Introsort.sort_pairs_tie_range ~key ~payload:perm ~tie ~lo ~hi)
    end);
   (perm, comparator_path)
 
@@ -254,6 +259,45 @@ let schedule clauses =
 (* The plan                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Morsel-driven partition evaluation                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Partition evaluation is embarrassingly parallel (paper §3.2), but the
+   partitions of a real stage are wildly unequal, so the unit of work is a
+   morsel: a run of consecutive small partitions totalling roughly
+   [morsel_rows] rows.  Partitions of at least [large] rows are *not*
+   morselised — they are evaluated on the caller, where their internal
+   probe loops and tree builds can themselves fan out across the pool
+   (inside a worker task those would run inline and serialise).  Returns
+   [(caller_partitions, morsels)], both in ascending partition order;
+   morsels are [(first, last)] partition-index ranges, end-exclusive. *)
+let morselize ~boundaries ~large ~morsel_rows =
+  let nparts = Array.length boundaries - 1 in
+  let caller = ref [] and morsels = ref [] in
+  let mstart = ref (-1) and mrows = ref 0 in
+  let flush upto =
+    if !mstart >= 0 then begin
+      morsels := (!mstart, upto) :: !morsels;
+      mstart := -1;
+      mrows := 0
+    end
+  in
+  for p = 0 to nparts - 1 do
+    let rows = boundaries.(p + 1) - boundaries.(p) in
+    if rows >= large then begin
+      flush p;
+      caller := p :: !caller
+    end
+    else begin
+      if !mstart < 0 then mstart := p;
+      mrows := !mrows + rows;
+      if !mrows >= morsel_rows then flush (p + 1)
+    end
+  done;
+  flush nparts;
+  (List.rev !caller, List.rev !morsels)
+
 (* Registered plan counters, mirroring [stats] in captured traces. *)
 let c_stages = Obs.Counter.make "plan.stages"
 let c_partition_passes = Obs.Counter.make "plan.partition_passes"
@@ -288,6 +332,12 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
   (* group clauses by PARTITION BY (structural equality), appearance
      order, and assign each to its first covering sort stage *)
   let pgroups = schedule_by (fun (c, _) -> c) outputs in
+  (* One long-lived batch holds every partition morsel of the whole plan:
+     morsels are submitted as soon as their stage's sort lands and drain on
+     the workers while the caller sorts later stages and partition groups
+     (the DAG's independent arms overlap), with one join before
+     materialisation. *)
+  let eval_batch = Task_pool.new_batch () in
   Obs.span "window_plan"
     ~args:(fun () ->
       [ ("rows", string_of_int n); ("clauses", string_of_int (List.length clauses)) ])
@@ -353,7 +403,7 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                           incr partial_sorts;
                           Obs.Counter.incr c_partial_sorts;
                           let perm, comp =
-                            partial_sort table ~base_perm:bperm ~boundaries:bnds ~order
+                            partial_sort pool table ~base_perm:bperm ~boundaries:bnds ~order
                           in
                           if comp then begin
                             incr comparator_sorts;
@@ -370,62 +420,92 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                         8 * (2 + Array.length perm + Array.length boundaries));
                     result)
               in
+              (* one row view per (stage, partition), shared by every
+                 clause and item of the stage; a fresh per-partition cache
+                 keeps sharing counters identical at every domain count *)
+              let eval_partition p =
+                let plo = boundaries.(p) and phi = boundaries.(p + 1) in
+                if phi > plo then begin
+                  let rows =
+                    if plo = 0 && phi = n then perm else Array.sub perm plo (phi - plo)
+                  in
+                  let cache = Build_cache.create ~counters () in
+                  List.iter
+                    (fun (c, outs) ->
+                      let spec = c.spec in
+                      let frame =
+                        Obs.span "frame"
+                          ~args:(fun () ->
+                            [ ("order", Sort_spec.to_string spec.Window_spec.order_by) ])
+                          (fun () ->
+                            let peers =
+                              Build_cache.peers cache ~order:spec.Window_spec.order_by
+                                (fun () -> Frame.peers table spec.Window_spec.order_by rows)
+                            in
+                            Frame.compute ~peers table ~spec ~rows)
+                      in
+                      let ctx =
+                        {
+                          Evaluators.table;
+                          pool;
+                          rows;
+                          frame;
+                          window_order = spec.Window_spec.order_by;
+                          fanout;
+                          sample;
+                          task_size;
+                          width;
+                          cache;
+                        }
+                      in
+                      List.iter
+                        (fun ((item : Window_func.t), out) ->
+                          Obs.span "item"
+                            ~args:(fun () ->
+                              [ ("name", item.name); ("func", Window_func.class_name item) ])
+                            (fun () -> Evaluators.eval_item ctx item ~out))
+                        outs)
+                    smembers
+                end
+              in
+              let nparts = Array.length boundaries - 1 in
               Obs.span "eval"
                 ~args:(fun () ->
                   [
                     ("order", Sort_spec.to_string order);
-                    ("partitions", string_of_int (Array.length boundaries - 1));
+                    ("partitions", string_of_int nparts);
                   ])
                 (fun () ->
-                  for p = 0 to Array.length boundaries - 2 do
-                    let plo = boundaries.(p) and phi = boundaries.(p + 1) in
-                    if phi > plo then begin
-                      (* one row view per (stage, partition), shared by every
-                         clause and item of the stage *)
-                      let rows =
-                        if plo = 0 && phi = n then perm else Array.sub perm plo (phi - plo)
-                      in
-                      let cache = Build_cache.create ~counters () in
-                      List.iter
-                        (fun (c, outs) ->
-                          let spec = c.spec in
-                          let frame =
-                            Obs.span "frame"
-                              ~args:(fun () ->
-                                [ ("order", Sort_spec.to_string spec.Window_spec.order_by) ])
+                  if Task_pool.size pool = 1 then
+                    (* the sequential path: identical span structure and
+                       evaluation order to the historical engine *)
+                    for p = 0 to nparts - 1 do
+                      eval_partition p
+                    done
+                  else begin
+                    (* morsel-driven: small partitions fan out as pool
+                       tasks (drained while later stages sort), large ones
+                       run on the caller with nested parallelism live *)
+                    let large = max (2 * task_size) (1 + (n / (2 * Task_pool.size pool))) in
+                    let caller_parts, morsels =
+                      morselize ~boundaries ~large ~morsel_rows:task_size
+                    in
+                    List.iter
+                      (fun (mfirst, mlast) ->
+                        Task_pool.submit pool eval_batch (fun () ->
+                            Obs.span "eval.morsel"
+                              ~args:(fun () -> [ ("order", Sort_spec.to_string order) ])
                               (fun () ->
-                                let peers =
-                                  Build_cache.peers cache ~order:spec.Window_spec.order_by
-                                    (fun () -> Frame.peers table spec.Window_spec.order_by rows)
-                                in
-                                Frame.compute ~peers table ~spec ~rows)
-                          in
-                          let ctx =
-                            {
-                              Evaluators.table;
-                              pool;
-                              rows;
-                              frame;
-                              window_order = spec.Window_spec.order_by;
-                              fanout;
-                              sample;
-                              task_size;
-                              width;
-                              cache;
-                            }
-                          in
-                          List.iter
-                            (fun ((item : Window_func.t), out) ->
-                              Obs.span "item"
-                                ~args:(fun () ->
-                                  [ ("name", item.name); ("func", Window_func.class_name item) ])
-                                (fun () -> Evaluators.eval_item ctx item ~out))
-                            outs)
-                        smembers
-                    end
-                  done))
+                                for p = mfirst to mlast - 1 do
+                                  eval_partition p
+                                done)))
+                      morsels;
+                    List.iter eval_partition caller_parts
+                  end))
             stages)
-        pgroups);
+        pgroups;
+      (* join: every outstanding partition morsel of every stage *)
+      Task_pool.wait pool eval_batch);
   let table' =
     Obs.span "materialize"
       ~args:(fun () ->
@@ -449,8 +529,8 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
       partial_sorts = !partial_sorts;
       reused_sorts = !reused_sorts;
       comparator_sorts = !comparator_sorts;
-      encode_builds = counters.Build_cache.encode_builds;
-      tree_builds = counters.Build_cache.tree_builds;
+      encode_builds = Build_cache.encode_build_count counters;
+      tree_builds = Build_cache.tree_build_count counters;
     } )
 
 let run ?pool ?fanout ?sample ?task_size ?width table clauses =

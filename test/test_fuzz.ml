@@ -330,11 +330,68 @@ let run_case ~pool rng idx ~seed =
         exp)
     expected
 
+(* Exact (bit-level) value equality for the cross-domain determinism check:
+   unlike [value_eq] there is no tolerance — the engine must produce the
+   same bits at every domain count, NaNs and signed zeros included. *)
+let value_identical a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> compare a b = 0
+
+(* Morsel scheduling may change which domain evaluates a partition, never
+   what gets computed or built: the same query must yield bit-identical
+   columns and identical plan statistics (sorts, cache builds) at every
+   domain count. *)
+let determinism_case ~pools rng idx ~seed =
+  let rng = Rng.split rng in
+  let table = gen_table rng in
+  let clauses = gen_clauses rng in
+  let task_size = [| 4; 16; 20_000 |].(Rng.int rng 3) in
+  let fanout = [| 2; 4; 16 |].(Rng.int rng 3) in
+  let results =
+    List.map
+      (fun pool ->
+        let n = Task_pool.size pool in
+        try (n, Window_plan.run_with_stats ~pool ~fanout ~task_size table clauses)
+        with e ->
+          Alcotest.failf "FUZZ_SEED=%d determinism case %d: engine raised %s at %d domains\n%s"
+            seed idx (Printexc.to_string e) n (describe table clauses))
+      pools
+  in
+  match results with
+  | [] -> ()
+  | (n0, (t0, s0)) :: rest ->
+      List.iter
+        (fun (n, (t, s)) ->
+          if s <> s0 then
+            Alcotest.failf
+              "FUZZ_SEED=%d determinism case %d: plan stats differ between %d and %d domains\n%s"
+              seed idx n0 n (describe table clauses);
+          List.iter
+            (fun (name, c0) ->
+              let c = Table.column t name in
+              for r = 0 to Table.nrows t0 - 1 do
+                let v0 = Column.get c0 r and v = Column.get c r in
+                if not (value_identical v0 v) then
+                  Alcotest.failf
+                    "FUZZ_SEED=%d determinism case %d row %d col %s: %d domains gave %s, %d \
+                     domains gave %s\n\
+                     %s"
+                    seed idx r name n0 (Value.to_string v0) n (Value.to_string v)
+                    (describe table clauses)
+              done)
+            (Table.columns t0))
+        rest
+
 let () =
   let seed = env_int "FUZZ_SEED" 20240807 in
   let cases = env_int "FUZZ_CASES" 500 in
+  let domain_cases = env_int "FUZZ_DOMAIN_CASES" 60 in
+  (* HOLIWIN_DOMAINS sizes the differential pool too, so the CI matrix leg
+     runs the whole suite under real worker domains. *)
+  let domains = env_int "HOLIWIN_DOMAINS" (min 4 (Domain.recommended_domain_count ())) in
   let run_all () =
-    let pool = Task_pool.create (min 4 (Domain.recommended_domain_count ())) in
+    let pool = Task_pool.create domains in
     Fun.protect
       ~finally:(fun () -> Task_pool.shutdown pool)
       (fun () ->
@@ -343,12 +400,30 @@ let () =
           run_case ~pool rng idx ~seed
         done)
   in
+  let run_domains () =
+    let pools = List.map Task_pool.create [ 1; 2; 4 ] in
+    Fun.protect
+      ~finally:(fun () -> List.iter Task_pool.shutdown pools)
+      (fun () ->
+        let rng = Rng.create (seed + 1) in
+        for idx = 0 to domain_cases - 1 do
+          determinism_case ~pools rng idx ~seed
+        done)
+  in
   Alcotest.run "fuzz"
     [
       ( "differential",
         [
           Alcotest.test_case
-            (Printf.sprintf "window pipeline vs naive oracle (%d cases, seed %d)" cases seed)
+            (Printf.sprintf "window pipeline vs naive oracle (%d cases, seed %d, %d domains)"
+               cases seed domains)
             `Quick run_all;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "bit-identical at 1/2/4 domains (%d cases, seed %d)" domain_cases
+               seed)
+            `Quick run_domains;
         ] );
     ]

@@ -494,7 +494,7 @@ counters
   plan.reused_sorts 2
   plan.stages 1
   pool.busy_ns # ms
-  pool.tasks 11
+  pool.tasks 9
 |}
 
 let golden2 =
@@ -529,7 +529,7 @@ counters
   plan.partition_passes 1
   plan.stages 1
   pool.busy_ns # ms
-  pool.tasks 4
+  pool.tasks 3
 |}
 
 let golden_case query golden () =
