@@ -22,6 +22,8 @@ type sizes = {
   multiwindow_rows : int;
   sort_keys_rows : int;
   scaling_rows : int;
+  calibrate_rows : int;
+  evaluator_rows : int;
 }
 
 let sizes ~scale ~quick =
@@ -39,6 +41,8 @@ let sizes ~scale ~quick =
     multiwindow_rows = f 400_000;
     sort_keys_rows = f 1_000_000;
     scaling_rows = f 400_000;
+    calibrate_rows = f 262_144;
+    evaluator_rows = f 400_000;
   }
 
 let experiments s =
@@ -62,6 +66,8 @@ let experiments s =
     ("sql-multiwindow", fun () -> Multiwindow.run ~rows:s.multiwindow_rows ());
     ("sort-keys", fun () -> Sort_keys.run ~rows:s.sort_keys_rows ());
     ("scaling", fun () -> Scaling.run ~rows:s.scaling_rows ());
+    ("calibrate", fun () -> Calibrate.run ~rows:s.calibrate_rows ());
+    ("evaluator-choice", fun () -> Evaluator_choice.run ~rows:s.evaluator_rows ());
     ("micro", Micro.run);
   ]
 

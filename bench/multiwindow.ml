@@ -55,6 +55,10 @@ let query =
   \       row_number() over (partition by grp order by ts, k rows between 99 preceding and current row) as rn\n\
    from t"
 
+(* Every item is pinned to MST: this experiment measures structure sharing
+   across clauses, so the per-clause evaluator choice must not move with
+   the cost model's calibration (see bench/evaluator_choice.ml for the
+   experiment that exercises the chooser). *)
 let clauses () =
   let grp = Expr.Col "grp" in
   let by_ts = [ Sort_spec.asc (Expr.Col "ts") ] in
@@ -63,19 +67,19 @@ let clauses () =
   [
     {
       Window_plan.spec = Window_spec.over ~partition_by:[ grp ] ~order_by:by_ts ~frame:(back 99) ();
-      items = [ Wf.rank ~name:"r" [] ];
+      items = [ Wf.rank ~algorithm:Wf.Mst ~name:"r" [] ];
     };
     {
       Window_plan.spec = Window_spec.over ~partition_by:[ grp ] ~order_by:by_ts ~frame:(back 999) ();
-      items = [ Wf.percent_rank ~name:"pr" [] ];
+      items = [ Wf.percent_rank ~algorithm:Wf.Mst ~name:"pr" [] ];
     };
     {
       Window_plan.spec = Window_spec.over ~partition_by:[ grp ] ~order_by:by_ts ~frame:(back 499) ();
-      items = [ Wf.cume_dist ~name:"cd" [] ];
+      items = [ Wf.cume_dist ~algorithm:Wf.Mst ~name:"cd" [] ];
     };
     {
       Window_plan.spec = Window_spec.over ~partition_by:[ grp ] ~order_by:by_ts_k ~frame:(back 99) ();
-      items = [ Wf.row_number ~name:"rn" [] ];
+      items = [ Wf.row_number ~algorithm:Wf.Mst ~name:"rn" [] ];
     };
   ]
 
@@ -148,7 +152,7 @@ let run ~rows () =
       H.note "legacy clause %d alone: %.3f s" (i + 1) t)
     cs;
   H.gc_settle ();
-  let plan_t = H.time_best ~hist:"bench.plan_ns" ~reps:3 (fun () -> Sql.query ~tables:[ ("t", table) ] query) in
+  let plan_t = H.time_best ~hist:"bench.plan_ns" ~reps:3 (fun () -> Sql.query ~algorithm:Wf.Mst ~tables:[ ("t", table) ] query) in
   H.gc_settle ();
   let legacy_t = H.time_best ~hist:"bench.legacy_ns" ~reps:3 (fun () -> Legacy_window.run_clauses table cs) in
   let plan_s = plan_t.H.best and legacy_s = legacy_t.H.best in

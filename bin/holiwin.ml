@@ -9,6 +9,7 @@
 
 open Holistic_storage
 module Wf = Holistic_window.Window_func
+module Ec = Holistic_window.Evaluator_choice
 
 let algorithms =
   [
@@ -21,6 +22,8 @@ let algorithms =
     ("ost", Wf.Order_statistic);
     ("segment-tree", Wf.Segment_tree);
   ]
+
+let evaluators = List.map (fun n -> (Ec.to_string n, n)) Ec.all
 
 let generators =
   [
@@ -98,14 +101,20 @@ let query_cmd =
     Arg.(value & opt (some (enum algorithms)) None & info [ "algorithm"; "a" ]
            ~doc:"Force an evaluation algorithm for all window functions.")
   in
+  let evaluator =
+    Arg.(value & opt (some (enum evaluators)) None & info [ "evaluator" ]
+           ~doc:"Force a backend for window functions that did not pick one \
+                 ($(b,--algorithm) wins); unsupported (function, backend) \
+                 pairs are rejected with an error.")
+  in
   let timing = Arg.(value & flag & info [ "time" ] ~doc:"Print execution time.") in
   let max_rows = Arg.(value & opt int 40 & info [ "max-rows" ] ~doc:"Rows to display.") in
   let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Write full result as CSV.") in
-  let run sql table_specs algorithm timing max_rows output =
+  let run sql table_specs algorithm evaluator timing max_rows output =
     try
       let tables = List.map load_table table_specs in
       let t0 = Unix.gettimeofday () in
-      let result = Holistic_sql.Sql.query ?algorithm ~tables sql in
+      let result = Holistic_sql.Sql.query ?algorithm ?evaluator ~tables sql in
       let dt = Unix.gettimeofday () -. t0 in
       (match output with
       | Some path -> Csv.save path result
@@ -121,13 +130,13 @@ let query_cmd =
     | Holistic_sql.Sql.Semantic_error msg ->
         Printf.eprintf "error: %s\n" msg;
         1
-    | Failure msg ->
+    | Failure msg | Invalid_argument msg ->
         Printf.eprintf "error: %s\n" msg;
         1
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a SQL query with extended window functions")
-    Term.(const run $ sql $ tables $ algorithm $ timing $ max_rows $ output)
+    Term.(const run $ sql $ tables $ algorithm $ evaluator $ timing $ max_rows $ output)
 
 (* --- explain ---------------------------------------------------------- *)
 
@@ -147,11 +156,17 @@ let explain_cmd =
            ~doc:"With --analyze, also write the capture as Chrome trace_event JSON \
                  (open in chrome://tracing or Perfetto).")
   in
-  let run sql table_specs analyze trace_out =
+  let evaluator =
+    Arg.(value & opt (some (enum evaluators)) None & info [ "evaluator" ]
+           ~doc:"With --analyze, force a backend for every window function \
+                 (strict: unsupported pairs are an error); the executed \
+                 choice shows up in the span tree's choose/item lines.")
+  in
+  let run sql table_specs analyze trace_out evaluator =
     try
       if analyze then begin
         let tables = List.map load_table table_specs in
-        let result, trace = Holistic_sql.Sql.explain_analyze_trace ~tables sql in
+        let result, trace = Holistic_sql.Sql.explain_analyze_trace ?evaluator ~tables sql in
         print_string (Holistic_sql.Sql.explain sql);
         Printf.printf "rows: %d (%s)\n" (Table.nrows result)
           (Holistic_obs.Obs.human_bytes (Table.footprint_bytes result));
@@ -167,13 +182,13 @@ let explain_cmd =
     | Holistic_sql.Sql.Semantic_error msg ->
         Printf.eprintf "error: %s\n" msg;
         1
-    | Failure msg ->
+    | Failure msg | Invalid_argument msg ->
         Printf.eprintf "error: %s\n" msg;
         1
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show a query's structure; --analyze executes it with tracing")
-    Term.(const run $ sql $ tables $ analyze $ trace_out)
+    Term.(const run $ sql $ tables $ analyze $ trace_out $ evaluator)
 
 let () =
   let doc = "Arbitrarily-framed holistic window aggregates (merge sort trees)" in

@@ -23,6 +23,12 @@ module Distinct_count = struct
   let clear t =
     Hashtbl.reset t.table;
     t.distinct <- 0
+
+  let footprint_bytes t =
+    let s = Hashtbl.stats t.table in
+    (* record (header + 2 fields), table record, bucket array, and one
+       3-word cons + 2-word boxed pair per binding *)
+    8 * (3 + 5 + 1 + s.Hashtbl.num_buckets + (5 * s.Hashtbl.num_bindings))
 end
 
 module Sorted_window = struct
@@ -63,6 +69,9 @@ module Sorted_window = struct
   let rank t v = position t v
 
   let clear t = t.len <- 0
+
+  (* record (header + 2 fields) + backing array (header + capacity) *)
+  let footprint_bytes t = 8 * (3 + 1 + Array.length t.data)
 end
 
 module Mode = struct
@@ -132,6 +141,14 @@ module Mode = struct
     Hashtbl.reset t.buckets;
     t.max_count <- 0;
     t.size <- 0
+
+  let table_bytes stats =
+    8 * (5 + 1 + stats.Hashtbl.num_buckets + (5 * stats.Hashtbl.num_bindings))
+
+  let footprint_bytes t =
+    let nested = Hashtbl.fold (fun _ b acc -> acc + table_bytes (Hashtbl.stats b)) t.buckets 0 in
+    (* record (header + 4 fields) + both top-level tables + nested id sets *)
+    (8 * 5) + table_bytes (Hashtbl.stats t.counts) + table_bytes (Hashtbl.stats t.buckets) + nested
 end
 
 module Frame_driver = struct

@@ -20,6 +20,12 @@ module Distinct_count : sig
   val remove : t -> int -> unit
   val count : t -> int
   val clear : t -> unit
+
+  val footprint_bytes : t -> int
+  (** Estimated live bytes of the multiplicity table (record, bucket array
+      and per-binding cells, from [Hashtbl.stats]) — the repo-wide
+      memory-accounting contract, reported per structure so the planner's
+      {!Evaluator_choice.footprint_estimate} can be validated at run time. *)
 end
 
 (** Sorted dynamic array over frame contents — Wesley & Xu's percentile
@@ -41,6 +47,10 @@ module Sorted_window : sig
   (** Number of stored elements strictly smaller than the value. *)
 
   val clear : t -> unit
+
+  val footprint_bytes : t -> int
+  (** Exact live bytes: the record plus the backing array at its current
+      capacity (doubling growth, never shrunk by {!clear}). *)
 end
 
 (** Windowed MODE state (Wesley & Xu's third holistic aggregate): value
@@ -67,6 +77,12 @@ module Mode : sig
       [better a b] means id [a] wins a tie against id [b]. O(top bucket). *)
 
   val clear : t -> unit
+
+  val footprint_bytes : t -> int
+  (** Estimated live bytes across the count table, the bucket index and
+      every per-multiplicity id set (via [Hashtbl.stats]). The dominant
+      term is proportional to the number of distinct values in the
+      window, not the window size. *)
 end
 
 module Frame_driver : sig

@@ -1,7 +1,14 @@
 (** Naive per-frame recomputation (paper §5.5): every output row recomputes
     its aggregate from scratch over the frame — O(n · w) overall, but with a
     small constant and trivially task-parallel, which makes it surprisingly
-    competitive at tiny frame sizes (§6.4). *)
+    competitive at tiny frame sizes (§6.4).
+
+    This backend is structure-free: it holds no state between rows (the
+    caller passes a reusable [scratch] buffer where one is needed), so its
+    footprint is zero — the planner's cost model charges it time, never
+    memory. NULL and FILTER handling live in the evaluator driver: the
+    qualifying-row remap excludes filtered and NULL rows before these
+    kernels see the data, identically for every backend. *)
 
 val select_kth : int array -> scratch:int array -> ranges:(int * int) array -> k:int -> int
 (** k-th smallest (0-based) value among the positions covered by the

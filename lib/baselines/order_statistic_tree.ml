@@ -282,6 +282,29 @@ let remove t key =
   if t.root.nkeys = 0 && not (is_leaf t.root) then t.root <- t.root.children.(0)
 
 (* ------------------------------------------------------------------ *)
+(* Memory accounting                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Walks live children only (slots beyond nkeys of an internal node hold a
+   placeholder, never a reachable node). Words: node record header + 4
+   fields, keys array header + capacity, children array header + capacity
+   when internal. *)
+let rec node_bytes n =
+  let own =
+    8 * (5 + 1 + Array.length n.keys + if is_leaf n then 0 else 1 + Array.length n.children)
+  in
+  if is_leaf n then own
+  else begin
+    let acc = ref own in
+    for j = 0 to n.nkeys do
+      acc := !acc + node_bytes n.children.(j)
+    done;
+    !acc
+  end
+
+let footprint_bytes t = (8 * 3) + node_bytes t.root
+
+(* ------------------------------------------------------------------ *)
 (* Invariant checking (tests)                                          *)
 (* ------------------------------------------------------------------ *)
 

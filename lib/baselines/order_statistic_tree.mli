@@ -34,6 +34,12 @@ val select : t -> int -> int
 
 val clear : t -> unit
 
+val footprint_bytes : t -> int
+(** Live bytes of the tree: every reachable node's record plus its keys
+    and children arrays at full B-tree capacity (nodes allocate 2t-1 key
+    slots up front, so the figure reflects allocation, not fill). O(nodes)
+    walk — the repo-wide memory-accounting contract. *)
+
 val check_invariants : t -> unit
 (** Validates B-tree structural invariants (key ordering, node fill, subtree
     counts, uniform leaf depth). For tests. @raise Failure on violation. *)

@@ -260,7 +260,7 @@ let lower_call table (c : Ast.window_call) : Wf.func =
 (* Query execution                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run ?pool ?fanout ?sample ?task_size ?algorithm ~tables (q : Ast.query) =
+let run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables (q : Ast.query) =
   let table =
     match List.assoc_opt q.Ast.from tables with
     | Some t -> t
@@ -352,7 +352,7 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ~tables (q : Ast.query) =
     if clauses = [] then table
     else
       Obs.span "sql.window" (fun () ->
-          Window_plan.run ?pool ?fanout ?sample ?task_size table clauses)
+          Window_plan.run ?pool ?fanout ?sample ?task_size ?evaluator table clauses)
   in
   (* projection: base columns for window outputs, fresh columns for exprs *)
   let out_columns =

@@ -13,9 +13,13 @@ val run :
   ?sample:int ->
   ?task_size:int ->
   ?algorithm:Holistic_window.Window_func.algorithm ->
+  ?evaluator:Holistic_window.Evaluator_choice.name ->
   tables:(string * Table.t) list ->
   Ast.query ->
   Table.t
 (** Executes the query; [algorithm] overrides the evaluation algorithm of
-    every window function (for the CLI's --algorithm flag).
+    every window function (for the CLI's --algorithm flag); [evaluator]
+    forces every [Auto] item onto one backend, strictly — an unsupported
+    (function, backend) pair raises (for the CLI's --evaluator flag; see
+    {!Holistic_window.Window_plan.run}).
     @raise Error on unknown tables/columns/functions or malformed calls. *)

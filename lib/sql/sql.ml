@@ -1,11 +1,11 @@
 exception Parse_error of string * int
 exception Semantic_error of string
 
-let query ?pool ?fanout ?sample ?task_size ?algorithm ~tables src =
+let query ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables src =
   let ast =
     try Parser.parse src with Parser.Error (msg, off) -> raise (Parse_error (msg, off))
   in
-  try Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ~tables ast
+  try Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables ast
   with Planner.Error msg -> raise (Semantic_error msg)
 
 let rec expr_to_string (e : Ast.expr) =
@@ -162,14 +162,14 @@ let explain src = explain_ast (Parser.parse src)
    description. Everything time-valued prints as "%.3f ms" so tests can
    mask it; structure, row counts and counters are deterministic for a
    given pool size. *)
-let explain_analyze ?pool ?fanout ?sample ?task_size ?algorithm ~tables src =
+let explain_analyze ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables src =
   let ast =
     try Parser.parse src with Parser.Error (msg, off) -> raise (Parse_error (msg, off))
   in
   let result, trace =
     Holistic_obs.Obs.with_capture (fun () ->
         Holistic_obs.Obs.span "sql.query" (fun () ->
-            try Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ~tables ast
+            try Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables ast
             with Planner.Error msg -> raise (Semantic_error msg)))
   in
   let b = Buffer.create 1024 in
@@ -180,11 +180,11 @@ let explain_analyze ?pool ?fanout ?sample ?task_size ?algorithm ~tables src =
   Buffer.add_string b (Holistic_obs.Obs.render trace);
   (result, Buffer.contents b)
 
-let explain_analyze_trace ?pool ?fanout ?sample ?task_size ?algorithm ~tables src =
+let explain_analyze_trace ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables src =
   let ast =
     try Parser.parse src with Parser.Error (msg, off) -> raise (Parse_error (msg, off))
   in
   Holistic_obs.Obs.with_capture (fun () ->
       Holistic_obs.Obs.span "sql.query" (fun () ->
-          try Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ~tables ast
+          try Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables ast
           with Planner.Error msg -> raise (Semantic_error msg)))

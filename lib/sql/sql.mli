@@ -26,10 +26,13 @@ val query :
   ?sample:int ->
   ?task_size:int ->
   ?algorithm:Holistic_window.Window_func.algorithm ->
+  ?evaluator:Holistic_window.Evaluator_choice.name ->
   tables:(string * Table.t) list ->
   string ->
   Table.t
-(** Parses and executes one SELECT statement against the named tables. *)
+(** Parses and executes one SELECT statement against the named tables.
+    [evaluator] forces every [Auto] window item onto one backend (strict;
+    see {!Holistic_window.Window_plan.run}). *)
 
 val explain : string -> string
 (** Parses the statement and renders the recognised structure (for the CLI
@@ -41,6 +44,7 @@ val explain_analyze :
   ?sample:int ->
   ?task_size:int ->
   ?algorithm:Holistic_window.Window_func.algorithm ->
+  ?evaluator:Holistic_window.Evaluator_choice.name ->
   tables:(string * Table.t) list ->
   string ->
   Table.t * string
@@ -59,6 +63,7 @@ val explain_analyze_trace :
   ?sample:int ->
   ?task_size:int ->
   ?algorithm:Holistic_window.Window_func.algorithm ->
+  ?evaluator:Holistic_window.Evaluator_choice.name ->
   tables:(string * Table.t) list ->
   string ->
   Table.t * Holistic_obs.Obs.trace

@@ -101,13 +101,13 @@ type t = {
   encodes : (Sort_spec.t, Rank_encode.t) guarded;
   remaps : (qual, Remap.t) guarded;
   peers : (Sort_spec.t, int array * int array) guarded;
-  count_trees : (codes_class * Sort_spec.t * qual * int, Mstw.t) guarded;
-  range_trees : (Sort_spec.t * qual * int, Range_tree.t) guarded;
+  count_trees : (string * codes_class * Sort_spec.t * qual * int, Mstw.t) guarded;
+  range_trees : (string * Sort_spec.t * qual * int, Range_tree.t) guarded;
   arg_ids : (Expr.t * qual, int array) guarded;
   prev_arrays : (Expr.t * qual, int array) guarded;
-  distinct_trees : (Expr.t * qual * int, Mstw.t) guarded;
-  annotated_trees : (Expr.t * qual * int, Sum_count_mst.t) guarded;
-  seg_trees : (seg_class * Expr.t * qual, seg_tree) guarded;
+  distinct_trees : (string * Expr.t * qual * int, Mstw.t) guarded;
+  annotated_trees : (string * Expr.t * qual * int, Sum_count_mst.t) guarded;
+  seg_trees : (string * seg_class * Expr.t * qual, seg_tree) guarded;
 }
 
 let create ?counters () =
@@ -193,27 +193,32 @@ let encode t ~order build =
 let remap t ~qual build = memo ~kind:"remap" ~bytes:Remap.footprint_bytes t.remaps qual build
 let peers t ~order build = memo ~kind:"peers" ~bytes:peers_bytes t.peers order build
 
-let count_tree t ~cls ~order ~qual ~sample build =
+(* Structure keys carry the evaluator that built them ([algo], the
+   [Evaluator_choice.to_string] spelling): two items share a tree only when
+   the planner resolved them to the same backend.  Defaults name the
+   backend that historically owned each structure, so pre-cost-model call
+   sites key identically to before. *)
+let count_tree t ?(algo = "mst") ~cls ~order ~qual ~sample build =
   let kind = match cls with Rank_codes -> "mst.rank" | Row_codes -> "mst.row" | Select_perm -> "mst.select" in
-  memo_tree ~kind ~bytes:Mstw.footprint_bytes t.count_trees t.counters (cls, order, qual, sample) build
+  memo_tree ~kind ~bytes:Mstw.footprint_bytes t.count_trees t.counters (algo, cls, order, qual, sample) build
 
-let range_tree t ~order ~qual ~sample build =
+let range_tree t ?(algo = "mst") ~order ~qual ~sample build =
   memo_tree ~kind:"range_tree" ~bytes:Range_tree.footprint_bytes t.range_trees t.counters
-    (order, qual, sample) build
+    (algo, order, qual, sample) build
 
 let arg_ids t ~arg ~qual build = memo ~kind:"arg_ids" ~bytes:int_array_bytes t.arg_ids (arg, qual) build
 let prev_array t ~arg ~qual build = memo ~kind:"prev" ~bytes:int_array_bytes t.prev_arrays (arg, qual) build
 
-let distinct_tree t ~arg ~qual ~sample build =
+let distinct_tree t ?(algo = "mst") ~arg ~qual ~sample build =
   memo_tree ~kind:"mst.distinct" ~bytes:Mstw.footprint_bytes t.distinct_trees t.counters
-    (arg, qual, sample) build
+    (algo, arg, qual, sample) build
 
-let annotated_tree t ~arg ~qual ~sample build =
+let annotated_tree t ?(algo = "mst") ~arg ~qual ~sample build =
   memo_tree ~kind:"mst.annotated" ~bytes:Sum_count_mst.footprint_bytes t.annotated_trees t.counters
-    (arg, qual, sample) build
+    (algo, arg, qual, sample) build
 
-let seg_tree t ~cls ~arg ~qual build =
-  memo_tree ~kind:"segment_tree" ~bytes:seg_tree_bytes t.seg_trees t.counters (cls, arg, qual) build
+let seg_tree t ?(algo = "segment-tree") ~cls ~arg ~qual build =
+  memo_tree ~kind:"segment_tree" ~bytes:seg_tree_bytes t.seg_trees t.counters (algo, cls, arg, qual) build
 
 let footprint_bytes t =
   let sum bytes g =

@@ -105,7 +105,14 @@ val create : ?counters:counters -> unit -> t
 val counters : t -> counters
 
 (** Each accessor returns the cached structure for its key, calling the
-    build thunk (and counting the build) only on the first request. *)
+    build thunk (and counting the build) only on the first request.
+
+    Tree keys additionally carry [algo] — the {!Evaluator_choice.to_string}
+    spelling of the backend the structure was resolved to — so items the
+    planner sent to different backends never alias each other's trees.
+    The defaults name the backend that historically owned each structure
+    ("mst" for the MST family, "segment-tree" for segment trees), keeping
+    pre-cost-model call sites on identical keys. *)
 
 val encode : t -> order:Sort_spec.t -> (unit -> Rank_encode.t) -> Rank_encode.t
 val remap : t -> qual:qual -> (unit -> Remap.t) -> Remap.t
@@ -114,22 +121,25 @@ val peers :
   t -> order:Sort_spec.t -> (unit -> int array * int array) -> int array * int array
 
 val count_tree :
-  t -> cls:codes_class -> order:Sort_spec.t -> qual:qual -> sample:int -> (unit -> Mstw.t) -> Mstw.t
+  t -> ?algo:string -> cls:codes_class -> order:Sort_spec.t -> qual:qual -> sample:int ->
+  (unit -> Mstw.t) -> Mstw.t
 
 val range_tree :
-  t -> order:Sort_spec.t -> qual:qual -> sample:int -> (unit -> Range_tree.t) -> Range_tree.t
+  t -> ?algo:string -> order:Sort_spec.t -> qual:qual -> sample:int ->
+  (unit -> Range_tree.t) -> Range_tree.t
 
 val arg_ids : t -> arg:Expr.t -> qual:qual -> (unit -> int array) -> int array
 val prev_array : t -> arg:Expr.t -> qual:qual -> (unit -> int array) -> int array
 
 val distinct_tree :
-  t -> arg:Expr.t -> qual:qual -> sample:int -> (unit -> Mstw.t) -> Mstw.t
+  t -> ?algo:string -> arg:Expr.t -> qual:qual -> sample:int -> (unit -> Mstw.t) -> Mstw.t
 
 val annotated_tree :
-  t -> arg:Expr.t -> qual:qual -> sample:int -> (unit -> Sum_count_mst.t) -> Sum_count_mst.t
+  t -> ?algo:string -> arg:Expr.t -> qual:qual -> sample:int ->
+  (unit -> Sum_count_mst.t) -> Sum_count_mst.t
 
 val seg_tree :
-  t -> cls:seg_class -> arg:Expr.t -> qual:qual -> (unit -> seg_tree) -> seg_tree
+  t -> ?algo:string -> cls:seg_class -> arg:Expr.t -> qual:qual -> (unit -> seg_tree) -> seg_tree
 
 val footprint_bytes : t -> int
 (** Total bytes held by every structure currently cached — the sum of the

@@ -38,6 +38,11 @@ let np ctx = Array.length ctx.rows
 let unsupported what =
   invalid_arg (Printf.sprintf "Window: unsupported function/algorithm combination (%s)" what)
 
+(* Cache-key tag for the MST-family structures: the cascade-free variant
+   builds different trees (sample 0) and must not alias the cascaded ones
+   even when [ctx.sample] is 0. *)
+let mst_tag = function Mst_no_cascade -> "mst-no-cascade" | _ -> "mst"
+
 (* ------------------------------------------------------------------ *)
 (* Shared preprocessing helpers                                        *)
 (* ------------------------------------------------------------------ *)
@@ -339,7 +344,7 @@ let eval_distinct_count ctx ~arg ~filter ~algorithm ~out =
         Build_cache.prev_array ctx.cache ~arg ~qual (fun () -> Prev.compute ~pool:ctx.pool ids)
       in
       let tree =
-        Build_cache.distinct_tree ctx.cache ~arg ~qual ~sample (fun () ->
+        Build_cache.distinct_tree ctx.cache ~algo:(mst_tag algorithm) ~arg ~qual ~sample (fun () ->
             Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width prev)
       in
       let next =
@@ -394,7 +399,7 @@ let eval_distinct_sum_avg ctx ~kind ~arg ~filter ~algorithm ~out =
         Build_cache.prev_array ctx.cache ~arg ~qual (fun () -> Prev.compute ~pool:ctx.pool ids)
       in
       let tree =
-        Build_cache.annotated_tree ctx.cache ~arg ~qual ~sample (fun () ->
+        Build_cache.annotated_tree ctx.cache ~algo:(mst_tag algorithm) ~arg ~qual ~sample (fun () ->
             Sum_count_mst.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~keys:prev
               ~value:(fun i -> (fvals.(i), 1))
               ())
@@ -556,7 +561,7 @@ let eval_rank_family ctx ~variant ~order ~filter ~algorithm ~out =
   | Dense_v, (Auto | Mst | Mst_no_cascade) ->
       let sample = if algorithm = Mst_no_cascade then 0 else ctx.sample in
       let rt =
-        Build_cache.range_tree ctx.cache ~order ~qual ~sample (fun () ->
+        Build_cache.range_tree ctx.cache ~algo:(mst_tag algorithm) ~order ~qual ~sample (fun () ->
             Range_tree.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample frank)
       in
       probe ctx (fun r ->
@@ -584,14 +589,14 @@ let eval_rank_family ctx ~variant ~order ~filter ~algorithm ~out =
       let tree_rank =
         if needs_rank then
           Some
-            (Build_cache.count_tree ctx.cache ~cls:Build_cache.Rank_codes ~order ~qual ~sample
+            (Build_cache.count_tree ctx.cache ~algo:(mst_tag algorithm) ~cls:Build_cache.Rank_codes ~order ~qual ~sample
                (fun () -> make frank))
         else None
       in
       let tree_row =
         if needs_row then
           Some
-            (Build_cache.count_tree ctx.cache ~cls:Build_cache.Row_codes ~order ~qual ~sample
+            (Build_cache.count_tree ctx.cache ~algo:(mst_tag algorithm) ~cls:Build_cache.Row_codes ~order ~qual ~sample
                (fun () -> make frow))
         else None
       in
@@ -733,7 +738,7 @@ let eval_select_family ctx ~kind ~arg ~order ~ignore_nulls ~filter ~algorithm ~o
       let make a = Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width a in
       (* permutation of filtered positions in function order = §4.5 Fig. 6 *)
       let sel_tree =
-        Build_cache.count_tree ctx.cache ~cls:Build_cache.Select_perm ~order ~qual ~sample
+        Build_cache.count_tree ctx.cache ~algo:(mst_tag algorithm) ~cls:Build_cache.Select_perm ~order ~qual ~sample
           (fun () ->
             let keys = Array.copy fro in
             let permf = Array.init m (fun i -> i) in
@@ -743,7 +748,7 @@ let eval_select_family ctx ~kind ~arg ~order ~ignore_nulls ~filter ~algorithm ~o
       let cnt_tree =
         if needs_rn then
           Some
-            (Build_cache.count_tree ctx.cache ~cls:Build_cache.Row_codes ~order ~qual ~sample
+            (Build_cache.count_tree ctx.cache ~algo:(mst_tag algorithm) ~cls:Build_cache.Row_codes ~order ~qual ~sample
                (fun () -> make fro))
         else None
       in

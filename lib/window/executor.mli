@@ -14,6 +14,7 @@ val run :
   ?sample:int ->
   ?task_size:int ->
   ?width:Holistic_core.Mst_width.choice ->
+  ?evaluator:Evaluator_choice.name ->
   Table.t ->
   over:Window_spec.t ->
   Window_func.t list ->
@@ -25,7 +26,9 @@ val run :
     §6.6); [task_size] the morsel size (default 20 000, §5.5); [width]
     selects the merge-sort-tree storage width (default
     {!Holistic_core.Mst_width.Auto}, §5.1 — the narrowest width the
-    partition's rank encoding fits). *)
+    partition's rank encoding fits); [evaluator] forces every [Auto] item
+    onto one backend, rejecting unsupported (function, backend) pairs —
+    without it the cost model picks per item (see {!Window_plan.run}). *)
 
 val order_permutation :
   ?pool:Holistic_parallel.Task_pool.t -> Table.t -> over:Window_spec.t -> int array * int array

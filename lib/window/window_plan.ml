@@ -306,6 +306,105 @@ let c_partial_sorts = Obs.Counter.make "plan.partial_sorts"
 let c_reused_sorts = Obs.Counter.make "plan.reused_sorts"
 let c_comparator_sorts = Obs.Counter.make "plan.comparator_sorts"
 
+(* One pick counter per backend: every resolved (stage, item) bumps its
+   backend exactly once, independent of partition count or pool size. *)
+let c_evaluator =
+  List.map
+    (fun nm -> (nm, Obs.Counter.make ("plan.evaluator." ^ Evaluator_choice.to_string nm)))
+    Evaluator_choice.all
+
+(* ------------------------------------------------------------------ *)
+(* Per-item evaluator resolution                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_env_evaluator () =
+  match Sys.getenv_opt "HOLIWIN_EVALUATOR" with
+  | None | Some "" -> None
+  | Some s -> (
+      match Evaluator_choice.of_string s with
+      | Some n -> Some n
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Window: unknown HOLIWIN_EVALUATOR %S (one of %s)" s
+               (String.concat "/" (List.map Evaluator_choice.to_string Evaluator_choice.all))))
+
+let holed_spec (spec : Window_spec.t) =
+  match spec.Window_spec.frame with
+  | Some f -> f.Window_spec.exclusion <> Window_spec.Exclude_no_others
+  | None -> false
+
+(* Resolve one (stage, item) to a concrete backend, once per stage — every
+   partition of the stage then runs the same algorithm, so sibling item
+   spans stay identical and cost decisions cannot depend on partition
+   sizes (only on their average) or on the pool.  Returns the item with
+   its [algorithm] pinned plus the backend tag for the item span; plain
+   COUNT and COUNT star are structure-free and resolve to no backend.
+
+   Precedence: an explicit item algorithm always wins and keeps the
+   evaluator bodies' historical semantics (including their silent
+   fallbacks); the [?evaluator] knob is strict — an unsupported (function,
+   backend) pair is an error; the HOLIWIN_EVALUATOR env var is lenient —
+   it forces the backend where eligible and leaves the cost model to pick
+   elsewhere, so a whole workload (e.g. the CI fuzz leg) can run under one
+   forced backend. *)
+let resolve_item ~evaluator ~env_force ~(model : Cost_model.constants) ~rows_avg ~nparts
+    ~task_size ~fanout (spec : Window_spec.t) (item : Window_func.t) =
+  let module Ec = Evaluator_choice in
+  match Ec.classify item with
+  | Ec.C_trivial_count -> (item, None)
+  | cls ->
+      let holed = holed_spec spec in
+      let chosen =
+        match Ec.of_algorithm item.Window_func.algorithm with
+        | Some forced -> forced
+        | None -> (
+            match evaluator with
+            | Some f ->
+                if Ec.supports f cls ~holed then f
+                else invalid_arg (Ec.unsupported_message f cls ~holed)
+            | None -> (
+                match env_force with
+                | Some f when Ec.supports f cls ~holed -> f
+                | _ ->
+                    let frame_rows, monotonic = Cost_model.estimate_frame spec ~rows:rows_avg in
+                    let d =
+                      Cost_model.choose model
+                        {
+                          Cost_model.rows = rows_avg;
+                          nparts;
+                          frame_rows;
+                          monotonic;
+                          holed;
+                          cls;
+                          task_size;
+                          fanout;
+                        }
+                    in
+                    Obs.span "choose"
+                      ~args:(fun () ->
+                        let total s = s *. float_of_int (max 1 nparts) /. 1000.0 in
+                        let fmt (nm, s) =
+                          Printf.sprintf "%s=%.1fus" (Ec.to_string nm) (total s)
+                        in
+                        [
+                          ("item", item.Window_func.name);
+                          ("evaluator", Ec.to_string d.Cost_model.chosen);
+                          ("cost", fmt (d.Cost_model.chosen,
+                                        List.assoc d.Cost_model.chosen d.Cost_model.scores));
+                          ( "rejected",
+                            String.concat ","
+                              (List.filter_map
+                                 (fun (nm, s) ->
+                                   if nm = d.Cost_model.chosen then None else Some (fmt (nm, s)))
+                                 d.Cost_model.scores) );
+                        ])
+                      (fun () -> ());
+                    d.Cost_model.chosen))
+      in
+      Obs.Counter.incr (List.assoc chosen c_evaluator);
+      ( { item with Window_func.algorithm = Ec.to_algorithm chosen },
+        Some (Ec.to_string chosen) )
+
 let exprs_to_string exprs = String.concat ", " (List.map Expr.to_string exprs)
 
 let order_permutation ?pool table ~over =
@@ -315,9 +414,10 @@ let order_permutation ?pool table ~over =
   (perm, boundaries)
 
 let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
-    ?(task_size = Task_pool.default_task_size) ?(width = Holistic_core.Mst_width.Auto) table
-    clauses =
+    ?(task_size = Task_pool.default_task_size) ?(width = Holistic_core.Mst_width.Auto) ?evaluator
+    table clauses =
   let pool = match pool with Some p -> p | None -> Task_pool.default () in
+  let env_force = parse_env_evaluator () in
   let n = Table.nrows table in
   let counters = Build_cache.fresh_counters () in
   let n_stages = ref 0 and partition_passes = ref 0 in
@@ -420,6 +520,24 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                         8 * (2 + Array.length perm + Array.length boundaries));
                     result)
               in
+              let nparts = Array.length boundaries - 1 in
+              (* resolve every item of the stage to a concrete backend
+                 before evaluation starts: one decision (and one
+                 plan.evaluator.* bump) per (stage, item), shared by all
+                 partitions and morsels *)
+              let smembers =
+                List.map
+                  (fun (c, outs) ->
+                    ( c,
+                      List.map
+                        (fun ((item : Window_func.t), out) ->
+                          ( resolve_item ~evaluator ~env_force ~model:Cost_model.default
+                              ~rows_avg:(if nparts = 0 then 0 else n / nparts)
+                              ~nparts ~task_size ~fanout c.spec item,
+                            out ))
+                        outs ))
+                  smembers
+              in
               (* one row view per (stage, partition), shared by every
                  clause and item of the stage; a fresh per-partition cache
                  keeps sharing counters identical at every domain count *)
@@ -459,16 +577,20 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                         }
                       in
                       List.iter
-                        (fun ((item : Window_func.t), out) ->
+                        (fun (((item : Window_func.t), ev), out) ->
                           Obs.span "item"
                             ~args:(fun () ->
-                              [ ("name", item.name); ("func", Window_func.class_name item) ])
+                              let base =
+                                [ ("name", item.name); ("func", Window_func.class_name item) ]
+                              in
+                              match ev with
+                              | None -> base
+                              | Some e -> base @ [ ("evaluator", e) ])
                             (fun () -> Evaluators.eval_item ctx item ~out))
                         outs)
                     smembers
                 end
               in
-              let nparts = Array.length boundaries - 1 in
               Obs.span "eval"
                 ~args:(fun () ->
                   [
@@ -533,5 +655,5 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
       tree_builds = Build_cache.tree_build_count counters;
     } )
 
-let run ?pool ?fanout ?sample ?task_size ?width table clauses =
-  fst (run_with_stats ?pool ?fanout ?sample ?task_size ?width table clauses)
+let run ?pool ?fanout ?sample ?task_size ?width ?evaluator table clauses =
+  fst (run_with_stats ?pool ?fanout ?sample ?task_size ?width ?evaluator table clauses)

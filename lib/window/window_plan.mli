@@ -60,12 +60,24 @@ val run :
   ?sample:int ->
   ?task_size:int ->
   ?width:Holistic_core.Mst_width.choice ->
+  ?evaluator:Evaluator_choice.name ->
   Table.t ->
   clause list ->
   Table.t
 (** [run table clauses] evaluates every item of every clause and returns the
     input table extended with one column per item (named by the item), in
-    the original row order. Parameters as in {!Executor.run}. *)
+    the original row order. Parameters as in {!Executor.run}.
+
+    Items whose algorithm is [Auto] are resolved to a concrete backend per
+    (stage, item) through {!Cost_model.choose}; [?evaluator] forces the
+    backend instead and rejects unsupported (function, backend) pairs with
+    [Invalid_argument].  The [HOLIWIN_EVALUATOR] environment variable is a
+    lenient version of the same knob: it forces the backend on eligible
+    items only and leaves the rest to the cost model.  Explicit item
+    algorithms always win and keep their historical semantics.  Every
+    resolution bumps the [plan.evaluator.<name>] counter once and is
+    surfaced in EXPLAIN ANALYZE ([choose] spans with the rejected
+    candidates' predicted costs, and an [evaluator] arg on item spans). *)
 
 val run_with_stats :
   ?pool:Holistic_parallel.Task_pool.t ->
@@ -73,10 +85,13 @@ val run_with_stats :
   ?sample:int ->
   ?task_size:int ->
   ?width:Holistic_core.Mst_width.choice ->
+  ?evaluator:Evaluator_choice.name ->
   Table.t ->
   clause list ->
   Table.t * stats
-(** {!run} plus sharing statistics for tests and benchmarks. *)
+(** {!run} plus sharing statistics for tests and benchmarks.  The stats
+    (and the cost-model decisions) are deterministic functions of the
+    inputs — never of the pool's domain count. *)
 
 val order_permutation :
   ?pool:Holistic_parallel.Task_pool.t -> Table.t -> over:Window_spec.t -> int array * int array

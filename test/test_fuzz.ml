@@ -383,10 +383,69 @@ let determinism_case ~pools rng idx ~seed =
             (Table.columns t0))
         rest
 
+(* Forced-choice: re-run each case once per backend with every eligible
+   Auto item pinned to it ([Evaluator_choice.supports] decides
+   eligibility, so ineligible items keep their cost-based pick).  Any two
+   backends that claim a (class, frame) cell must agree bit-for-bit — the
+   generator's float column holds dyadic halves, so even SUM/AVG are exact
+   under every summation order and the comparison needs no tolerance. *)
+let force_backend nm (clauses : Window_plan.clause list) =
+  List.map
+    (fun (c : Window_plan.clause) ->
+      let holed =
+        match c.spec.Ws.frame with
+        | Some f -> f.Ws.exclusion <> Ws.Exclude_no_others
+        | None -> false
+      in
+      {
+        c with
+        Window_plan.items =
+          List.map
+            (fun (it : Wf.t) ->
+              if it.Wf.algorithm = Wf.Auto && Evaluator_choice.supports nm (Evaluator_choice.classify it) ~holed
+              then { it with Wf.algorithm = Evaluator_choice.to_algorithm nm }
+              else it)
+            c.items;
+      })
+    clauses
+
+let forced_case ~pool rng idx ~seed =
+  let rng = Rng.split rng in
+  let table = gen_table rng in
+  let clauses = gen_clauses rng in
+  let task_size = [| 4; 16; 20_000 |].(Rng.int rng 3) in
+  let fanout = [| 2; 4; 16 |].(Rng.int rng 3) in
+  let baseline = Window_plan.run ~pool ~fanout ~task_size table clauses in
+  List.iter
+    (fun nm ->
+      let forced = force_backend nm clauses in
+      let out =
+        try Window_plan.run ~pool ~fanout ~task_size table forced
+        with e ->
+          Alcotest.failf "FUZZ_SEED=%d forced case %d: backend %s raised %s\n%s" seed idx
+            (Evaluator_choice.to_string nm) (Printexc.to_string e) (describe table forced)
+      in
+      List.iter
+        (fun (name, c0) ->
+          let c = Table.column out name in
+          for r = 0 to Table.nrows baseline - 1 do
+            let v0 = Column.get c0 r and v = Column.get c r in
+            if not (value_identical v0 v) then
+              Alcotest.failf
+                "FUZZ_SEED=%d forced case %d row %d item %s: default gave %s, backend %s gave \
+                 %s\n\
+                 %s"
+                seed idx r name (Value.to_string v0) (Evaluator_choice.to_string nm)
+                (Value.to_string v) (describe table forced)
+          done)
+        (Table.columns baseline))
+    Evaluator_choice.all
+
 let () =
   let seed = env_int "FUZZ_SEED" 20240807 in
   let cases = env_int "FUZZ_CASES" 500 in
   let domain_cases = env_int "FUZZ_DOMAIN_CASES" 60 in
+  let forced_cases = env_int "FUZZ_FORCED_CASES" 120 in
   (* HOLIWIN_DOMAINS sizes the differential pool too, so the CI matrix leg
      runs the whole suite under real worker domains. *)
   let domains = env_int "HOLIWIN_DOMAINS" (min 4 (Domain.recommended_domain_count ())) in
@@ -410,6 +469,16 @@ let () =
           determinism_case ~pools rng idx ~seed
         done)
   in
+  let run_forced () =
+    let pool = Task_pool.create domains in
+    Fun.protect
+      ~finally:(fun () -> Task_pool.shutdown pool)
+      (fun () ->
+        let rng = Rng.create (seed + 2) in
+        for idx = 0 to forced_cases - 1 do
+          forced_case ~pool rng idx ~seed
+        done)
+  in
   Alcotest.run "fuzz"
     [
       ( "differential",
@@ -425,5 +494,12 @@ let () =
             (Printf.sprintf "bit-identical at 1/2/4 domains (%d cases, seed %d)" domain_cases
                seed)
             `Quick run_domains;
+        ] );
+      ( "forced-choice",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "every eligible backend bit-identical (%d cases, seed %d)"
+               forced_cases seed)
+            `Quick run_forced;
         ] );
     ]

@@ -470,14 +470,16 @@ sql.query # ms - # kw
       partition_ids {by=g} # ms - # kw
       sort {order=x, s, kind=full, path=encoded, rows=6} # ms 88 B # kw
         sort.runs {n=6, runs=1} # ms - # kw
+      choose {item=r, evaluator=mst, cost=mst=2.9us, rejected=naive=0.0us,ost=0.2us} # ms - # kw
+      choose {item=s1, evaluator=segment-tree, cost=segment-tree=0.1us, rejected=naive=0.0us} # ms - # kw
       eval {order=x, s, partitions=2} # ms - # kw
         frame {order=x} x4 # ms - # kw
           build {kind=peers} x2 # ms 176 B # kw
-        item {name=r, func=rank} x2 # ms - # kw
+        item {name=r, func=rank, evaluator=mst} x2 # ms - # kw
           build {kind=encode} x2 # ms 240 B # kw
             sort.runs {n=3, runs=1} x2 # ms - # kw
           build {kind=mst.rank} x2 # ms 152 B # kw
-        item {name=s1, func=sum} x2 # ms - # kw
+        item {name=s1, func=sum, evaluator=segment-tree} x2 # ms - # kw
           build {kind=remap} x2 # ms 192 B # kw
           build {kind=segment_tree} x2 # ms 272 B # kw
         frame {order=x, s} x2 # ms - # kw
@@ -489,6 +491,8 @@ counters
   cache.hit 2
   cache.miss 12
   mem.structure_bytes 1208
+  plan.evaluator.mst 1
+  plan.evaluator.segment-tree 1
   plan.full_sorts 1
   plan.partition_passes 1
   plan.reused_sorts 2
@@ -512,10 +516,11 @@ sql.query # ms - # kw
       partition_ids {by=} # ms - # kw
       sort {order=x desc, kind=full, path=encoded, rows=3} # ms 56 B # kw
         sort.runs {n=3, runs=1} # ms - # kw
+      choose {item=rn, evaluator=mst, cost=mst=1.4us, rejected=naive=0.0us,ost=0.1us} # ms - # kw
       eval {order=x desc, partitions=1} # ms - # kw
         frame {order=x desc} # ms - # kw
           build {kind=peers} # ms 88 B # kw
-        item {name=rn, func=row_number} # ms - # kw
+        item {name=rn, func=row_number, evaluator=mst} # ms - # kw
           build {kind=encode} # ms 120 B # kw
           build {kind=mst.row} # ms 76 B # kw
     materialize {columns=1} # ms 72 B # kw
@@ -525,6 +530,7 @@ sql.query # ms - # kw
 counters
   cache.miss 3
   mem.structure_bytes 284
+  plan.evaluator.mst 1
   plan.full_sorts 1
   plan.partition_passes 1
   plan.stages 1
