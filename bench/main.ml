@@ -24,6 +24,7 @@ type sizes = {
   scaling_rows : int;
   calibrate_rows : int;
   evaluator_rows : int;
+  incremental_rows : int;
 }
 
 let sizes ~scale ~quick =
@@ -43,6 +44,7 @@ let sizes ~scale ~quick =
     scaling_rows = f 400_000;
     calibrate_rows = f 262_144;
     evaluator_rows = f 400_000;
+    incremental_rows = f 400_000;
   }
 
 let experiments s =
@@ -68,6 +70,7 @@ let experiments s =
     ("scaling", fun () -> Scaling.run ~rows:s.scaling_rows ());
     ("calibrate", fun () -> Calibrate.run ~rows:s.calibrate_rows ());
     ("evaluator-choice", fun () -> Evaluator_choice.run ~rows:s.evaluator_rows ());
+    ("incremental", fun () -> Incremental.run ~rows:s.incremental_rows ());
     ("micro", Micro.run);
   ]
 

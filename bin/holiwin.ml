@@ -190,8 +190,120 @@ let explain_cmd =
     (Cmd.info "explain" ~doc:"Show a query's structure; --analyze executes it with tracing")
     Term.(const run $ sql $ tables $ analyze $ trace_out $ evaluator)
 
+(* --- session ---------------------------------------------------------- *)
+
+(* Interactive/scripted driver for the persistent structure store: one
+   table pinned for the whole run, structures cached across statements and
+   incrementally maintained by appends and evictions. *)
+let session_cmd =
+  let table_spec =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME=SRC"
+           ~doc:"The session table: NAME=file.csv or NAME=generator:rows.")
+  in
+  let script =
+    Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE"
+           ~doc:"Read commands from FILE instead of stdin.")
+  in
+  let max_rows = Arg.(value & opt int 40 & info [ "max-rows" ] ~doc:"Rows to display.") in
+  let run table_spec script max_rows =
+    try
+      let name, table = load_table table_spec in
+      let module Sql = Holistic_sql.Sql in
+      let session = Sql.session_create table in
+      let interactive = script = None && Unix.isatty Unix.stdin in
+      let ic = match script with Some path -> open_in path | None -> stdin in
+      let stats () =
+        let c = Sql.Session.counters session in
+        Printf.printf "epoch %d: %d rows (%s cached); builds %d+%d, maintained %d, rebuilt %d\n"
+          (Sql.Session.epoch session)
+          (Table.nrows (Sql.session_table session))
+          (Holistic_obs.Obs.human_bytes (Sql.Session.footprint_bytes session))
+          (Atomic.get c.Holistic_window.Build_cache.encode_builds)
+          (Atomic.get c.Holistic_window.Build_cache.tree_builds)
+          (Atomic.get c.Holistic_window.Build_cache.maintained)
+          (Atomic.get c.Holistic_window.Build_cache.rebuilt)
+      in
+      let strip s = String.trim s in
+      let split_cmd line =
+        match String.index_opt line ' ' with
+        | Some i ->
+            (String.sub line 0 i, strip (String.sub line i (String.length line - i)))
+        | None -> (line, "")
+      in
+      let exec line =
+        match split_cmd line with
+        | ("query" | "select"), _ ->
+            (* "select ..." runs verbatim; "query select ..." strips the prefix *)
+            let sql = if String.length line >= 6 && String.sub line 0 6 = "select" then line
+                      else snd (split_cmd line) in
+            let t0 = Unix.gettimeofday () in
+            let result = Sql.session_query ~name session sql in
+            let dt = Unix.gettimeofday () -. t0 in
+            Table.print ~max_rows result;
+            Printf.printf "%d rows in %.3f s\n" (Table.nrows result) dt
+        | "explain", sql ->
+            let _, report = Sql.session_explain_analyze ~name session sql in
+            print_string report
+        | "append", src ->
+            let _, delta = load_table (name ^ "=" ^ src) in
+            Sql.session_append session delta;
+            stats ()
+        | "evict", pred ->
+            let before = Table.nrows (Sql.session_table session) in
+            Sql.session_evict session pred;
+            Printf.printf "evicted %d rows\n"
+              (before - Table.nrows (Sql.session_table session));
+            stats ()
+        | "stats", _ -> stats ()
+        | ("help" | "?"), _ ->
+            print_string
+              "commands:\n\
+              \  select ...          run a query against the session table\n\
+              \  explain SQL         EXPLAIN ANALYZE with cache provenance tags\n\
+              \  append SRC          append rows (file.csv or generator:rows)\n\
+              \  evict PRED          evict rows matching a predicate\n\
+              \  stats               epoch, rows, cache footprint, build counters\n\
+              \  quit                exit\n"
+        | cmd, _ -> Printf.eprintf "unknown command %S (try: help)\n" cmd
+      in
+      let rec loop () =
+        if interactive then (print_string (name ^ "> "); flush stdout);
+        match input_line ic with
+        | exception End_of_file -> ()
+        | line ->
+            let line = strip line in
+            if line = "quit" || line = "exit" then ()
+            else begin
+              if line <> "" && not (String.length line >= 2 && String.sub line 0 2 = "--")
+              then begin
+                (try exec line with
+                | Sql.Parse_error (msg, off) ->
+                    Printf.eprintf "parse error at offset %d: %s\n" off msg
+                | Sql.Semantic_error msg -> Printf.eprintf "error: %s\n" msg
+                | Failure msg | Invalid_argument msg -> Printf.eprintf "error: %s\n" msg);
+                flush stdout
+              end;
+              loop ()
+            end
+      in
+      if interactive then
+        Printf.printf "session over %S (%d rows); type 'help' for commands\n" name
+          (Table.nrows table);
+      loop ();
+      if script <> None then close_in ic;
+      0
+    with Failure msg | Invalid_argument msg | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:"Open a persistent session over one table: cached window structures survive \
+             across queries and are incrementally maintained by appends and evictions")
+    Term.(const run $ table_spec $ script $ max_rows)
+
 let () =
   let doc = "Arbitrarily-framed holistic window aggregates (merge sort trees)" in
   exit
     (Cmd.eval'
-       (Cmd.group (Cmd.info "holiwin" ~doc) [ gen_cmd; query_cmd; explain_cmd ]))
+       (Cmd.group (Cmd.info "holiwin" ~doc) [ gen_cmd; query_cmd; explain_cmd; session_cmd ]))

@@ -44,6 +44,14 @@ val create :
     position each element came from, which {!Annotated_mst} needs to attach
     aggregate annotations. The input array is copied. *)
 
+val append : t -> int array -> t option
+(** [append t a] incrementally maintains the tree for the grown leaf array
+    [a] (whose first [length t] elements must equal the existing leaves) by
+    run-stacking: runs fully inside the old prefix are blitted, only runs
+    overlapping the appended suffix are re-merged. Bit-identical to
+    [create a]. [None] when the prefix changed, payloads are tracked, or
+    the new operand overflows the storage width (rebuild instead). *)
+
 val length : t -> int
 val fanout : t -> int
 val sample : t -> int

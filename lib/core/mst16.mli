@@ -21,6 +21,14 @@ val create :
     @raise Invalid_argument if a value is negative or exceeds 65535, or the
     array is longer than 65535 elements. *)
 
+val append : t -> int array -> t option
+(** [append t a] incrementally maintains the tree for the grown leaf array
+    [a] (whose first [length t] elements must equal the existing leaves) by
+    run-stacking: runs fully inside the old prefix are blitted, only runs
+    overlapping the appended suffix are re-merged. Bit-identical to
+    [create a]. [None] when the prefix changed, payloads are tracked, or
+    the new operand overflows the storage width (rebuild instead). *)
+
 val length : t -> int
 val fanout : t -> int
 val sample : t -> int

@@ -16,6 +16,7 @@ let of_mst mst =
     ~fanout:(Mst.fanout mst) ~sample:(Mst.sample mst) ~levels:ir.Mst.int_levels
     ~cursors:ir.Mst.int_cursors ~stride:ir.Mst.strides ~spr:ir.Mst.states_per_run
 
+let append = T.append
 let length = T.length
 let fanout = T.fanout
 let sample = T.sample

@@ -325,6 +325,130 @@ module Make (S : Mst_storage.S) = struct
     done;
     { n; fanout; sample; levels; payloads; stride; cursors; spr }
 
+  (* ------------------------------------------------------------------ *)
+  (* Run-stacking append (incremental maintenance)                       *)
+  (* ------------------------------------------------------------------ *)
+
+  (* [append t a] produces the tree [create a] without re-merging the runs
+     that [create] would rebuild identically: a level-[j] run whose span
+     lies entirely inside the old prefix has the same leaves, hence the
+     same sorted content and the same sampled cursor states, so it is
+     blitted from the old tree; only the runs overlapping the appended
+     suffix [t.n, |a|) — at most one partial run per level, plus the runs
+     the new rows create — go through {!merge_one_run}. This is the
+     run-stacking shape of DuckDB's WindowDistinctSortTree [build_level]/
+     [build_run] machinery: appended rows stack up as side runs and are
+     merged into a level only once the level's stride covers them.
+
+     Returns [None] (caller rebuilds from scratch) when the tree tracks
+     payloads, when [a] shrank or no longer starts with the old leaves, or
+     when the new size overflows the storage width. The result is
+     bit-identical to [create a] by construction: stable runs are copies,
+     re-merged runs feed the same deterministic merge the full build runs.
+
+     The maintenance pass works on wide ([int array]) levels and re-encodes
+     at the end — the same transient-shadow discipline as [create], and the
+     stable-run blits are memcpy-speed against the full build's loser-tree
+     merges, so maintenance cost is dominated by the re-merged suffix. *)
+  let append t a =
+    let n_old = t.n and n = Array.length a in
+    if t.payloads <> None || n < n_old || n > S.max_value then None
+    else begin
+      let prefix_ok = ref true in
+      let l0 = t.levels.(0) in
+      (try
+         for i = 0 to n_old - 1 do
+           if S.get l0 i <> Array.unsafe_get a i then begin
+             prefix_ok := false;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if not !prefix_ok then None
+      else begin
+        let fanout = t.fanout and sample = t.sample in
+        let h = ref 0 in
+        let s = ref 1 in
+        while !s < n do
+          s := !s * fanout;
+          incr h
+        done;
+        let h = !h in
+        let stride = Array.make (h + 1) 1 in
+        for j = 1 to h do
+          stride.(j) <- stride.(j - 1) * fanout
+        done;
+        let levels = Array.make (h + 1) [||] in
+        levels.(0) <- Array.copy a;
+        let spr = Array.make h 0 in
+        let cursors =
+          Array.init h (fun j ->
+              if sample = 0 then [||]
+              else begin
+                let run_len = min stride.(j + 1) n in
+                let nruns = if n = 0 then 0 else ((n - 1) / stride.(j + 1)) + 1 in
+                spr.(j) <- (run_len / sample) + 1;
+                Array.make (nruns * spr.(j) * fanout) 0
+              end)
+        in
+        let h_old = Array.length t.levels - 1 in
+        let sc = make_scratch fanout in
+        for j = 1 to h do
+          levels.(j) <- Array.make n 0;
+          let l = stride.(j) in
+          let nruns = ((n - 1) / l) + 1 in
+          let spr_j = if sample = 0 then 0 else spr.(j - 1) in
+          let src = levels.(j - 1) and dst = levels.(j) in
+          let carr = if sample = 0 then [||] else cursors.(j - 1) in
+          for r = 0 to nruns - 1 do
+            let run_base = r * l in
+            let run_len = min l (n - run_base) in
+            if j <= h_old && run_len = l && run_base + l <= n_old then begin
+              (* stable run: same leaves, same merge → copy values and
+                 sampled cursor states verbatim from the old tree *)
+              (match S.as_ints t.levels.(j) with
+              | Some old -> Array.blit old run_base dst run_base run_len
+              | None ->
+                  for i = run_base to run_base + run_len - 1 do
+                    dst.(i) <- S.get t.levels.(j) i
+                  done);
+              if sample > 0 then begin
+                let sb = r * spr_j * fanout in
+                let slen = spr_j * fanout in
+                match S.as_ints t.cursors.(j - 1) with
+                | Some oldc -> Array.blit oldc sb carr sb slen
+                | None ->
+                    for i = sb to sb + slen - 1 do
+                      carr.(i) <- S.get t.cursors.(j - 1) i
+                    done
+              end
+            end
+            else
+              merge_one_run ~sc ~src ~src_payload:None ~dst ~dst_payload:None ~cursors:carr
+                ~state_base:(r * spr_j * fanout)
+                ~fanout ~sample ~run_base ~run_len ~child_stride:stride.(j - 1)
+          done
+        done;
+        let msg =
+          Printf.sprintf "%s.append: value exceeds %d-bit storage range" S.name S.width_bits
+        in
+        match
+          {
+            n;
+            fanout;
+            sample;
+            levels = Array.map (fun l -> S.of_int_array ~msg l) levels;
+            payloads = None;
+            stride;
+            cursors = Array.map (fun c -> S.of_int_array ~msg c) cursors;
+            spr;
+          }
+        with
+        | t' -> Some t'
+        | exception Invalid_argument _ -> None
+      end
+    end
+
   (* Re-encode an already-built tree's raw 64-bit representation (the
      historical {!Mst_compact.of_mst} conversion path, kept for comparison
      benchmarks). *)

@@ -52,6 +52,35 @@ let create ?pool ?fanout ?sample ?(choice = Auto) a =
 
 let width = function T16 _ -> W16 | T32 _ -> W32 | T64 _ -> W64
 
+(* Incremental append: maintain [t] for the grown operand [a] when the
+   width [create] would pick is unchanged (otherwise the old narrow levels
+   cannot represent the new operand — rebuild at the new width) and the
+   tree was built with the same fanout/sample the caller would use. The
+   flag reports whether maintenance happened (false → a full rebuild ran),
+   for the cache's maintained/rebuilt provenance counters. *)
+let try_extend ?(fanout = 32) ?(sample = 32) ?(choice = Auto) t a =
+  let n = Array.length a in
+  let min_value, max_value = value_bounds a in
+  let fit = width_for ~n ~min_value ~max_value in
+  let target = match choice with Auto -> fit | Force w -> widen w fit in
+  let same_knobs =
+    match t with
+    | T16 t -> Mst16.fanout t = fanout && Mst16.sample t = sample
+    | T32 t -> Mst_compact.fanout t = fanout && Mst_compact.sample t = sample
+    | T64 t -> Mst.fanout t = fanout && Mst.sample t = sample
+  in
+  if (not same_knobs) || rank target <> rank (width t) then None
+  else
+    match t with
+    | T16 t -> Option.map (fun t -> T16 t) (Mst16.append t a)
+    | T32 t -> Option.map (fun t -> T32 t) (Mst_compact.append t a)
+    | T64 t -> Option.map (fun t -> T64 t) (Mst.append t a)
+
+let extend ?pool ?(fanout = 32) ?(sample = 32) ?(choice = Auto) t a =
+  match try_extend ~fanout ~sample ~choice t a with
+  | Some t' -> (t', true)
+  | None -> (create ?pool ~fanout ~sample ~choice a, false)
+
 let length = function
   | T16 t -> Mst16.length t
   | T32 t -> Mst_compact.length t

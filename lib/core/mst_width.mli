@@ -35,6 +35,27 @@ val create :
 (** Builds at the width selected by [choice] (default [Auto]) after a
     single scan for the operand's value bounds. *)
 
+val try_extend : ?fanout:int -> ?sample:int -> ?choice:choice -> t -> int array -> t option
+(** Maintenance-only {!extend}: [None] — with no rebuild attempted — when
+    run-stacking cannot apply (width change, knob mismatch, prefix
+    mismatch, shrink), for callers that fall back through their own build
+    path (the {!Build_cache} [maintain] callbacks). *)
+
+val extend :
+  ?pool:Holistic_parallel.Task_pool.t ->
+  ?fanout:int ->
+  ?sample:int ->
+  ?choice:choice ->
+  t ->
+  int array ->
+  t * bool
+(** [extend t a] maintains [t] incrementally for the grown operand [a]
+    (run-stacking append; see {!Mst.append}) when the selected width,
+    fanout and sample are unchanged and [a] still starts with [t]'s
+    leaves; otherwise builds from scratch. The flag is [true] iff the tree
+    was maintained rather than rebuilt. Either way the result equals
+    [create a]. *)
+
 val width : t -> width
 val length : t -> int
 val count : t -> lo:int -> hi:int -> less_than:int -> int

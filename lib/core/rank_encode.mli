@@ -37,6 +37,22 @@ val of_floats : ?pool:Holistic_parallel.Task_pool.t -> ?desc:bool -> float array
     unboxed float pair sort. Equal floats tie; NaNs form their own top
     group. *)
 
+val extend_cmp : t -> int -> cmp:(int -> int -> int) -> t option
+(** [extend_cmp old n ~cmp] incrementally extends an encoding of rows
+    [0..m-1] to rows [0..n-1] after an append (densified-rank delta patch):
+    the old arrays are blitted, the appended rows are sorted among
+    themselves and their rank codes continue the last old peer group. The
+    result is bit-identical to [of_cmp n ~cmp]. [None] when any appended
+    row sorts strictly before the old maximum (out-of-order append — the
+    caller rebuilds from scratch) or the old encoding is empty. *)
+
+val extend_ints : t -> int array -> t option
+(** [extend_ints old values] — the {!of_ints} counterpart of
+    {!extend_cmp}; [values] is the full grown key array. *)
+
+val extend_floats : ?desc:bool -> t -> float array -> t option
+(** The {!of_floats} counterpart of {!extend_cmp}. *)
+
 (** On every constructor, [pool] (plus an input above
     {!Holistic_parallel.Task_pool.default_task_size} rows) parallelises the
     code-array scatter as a two-pass chunked prefix sum; the arrays produced

@@ -321,7 +321,7 @@ let swapf (k : float array) (p : int array) i j =
   Array.unsafe_set p i (Array.unsafe_get p j);
   Array.unsafe_set p j t
 
-(* NaN-total lexicographic order: Float.compare sorts NaN above +inf *)
+(* NaN-total lexicographic order: Float.compare sorts NaN below -inf *)
 let fpair_less k1 p1 k2 p2 =
   let c = Float.compare k1 k2 in
   c < 0 || (c = 0 && p1 < p2)

@@ -260,7 +260,7 @@ let lower_call table (c : Ast.window_call) : Wf.func =
 (* Query execution                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables (q : Ast.query) =
+let run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session ~tables (q : Ast.query) =
   let table =
     match List.assoc_opt q.Ast.from tables with
     | Some t -> t
@@ -351,8 +351,12 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables (q : Ast.
   let with_windows =
     if clauses = [] then table
     else
+      (* The session store only engages when [table] is the session's own
+         table (physical equality, checked inside Window_plan) — a WHERE
+         clause materialises a filtered copy, so filtered queries fall
+         through to the stateless path untouched. *)
       Obs.span "sql.window" (fun () ->
-          Window_plan.run ?pool ?fanout ?sample ?task_size ?evaluator table clauses)
+          Window_plan.run ?pool ?fanout ?sample ?task_size ?evaluator ?session table clauses)
   in
   (* projection: base columns for window outputs, fresh columns for exprs *)
   let out_columns =

@@ -7,6 +7,11 @@ open Holistic_storage
 
 exception Error of string
 
+val lower_expr : Table.t -> Ast.expr -> Expr.t
+(** Lowers a scalar AST expression against [table]'s columns (for the
+    session layer's eviction predicates and tests).
+    @raise Error on unknown columns or functions. *)
+
 val run :
   ?pool:Holistic_parallel.Task_pool.t ->
   ?fanout:int ->
@@ -14,6 +19,7 @@ val run :
   ?task_size:int ->
   ?algorithm:Holistic_window.Window_func.algorithm ->
   ?evaluator:Holistic_window.Evaluator_choice.name ->
+  ?session:Holistic_window.Session.t ->
   tables:(string * Table.t) list ->
   Ast.query ->
   Table.t
@@ -21,5 +27,8 @@ val run :
     every window function (for the CLI's --algorithm flag); [evaluator]
     forces every [Auto] item onto one backend, strictly — an unsupported
     (function, backend) pair raises (for the CLI's --evaluator flag; see
+    {!Holistic_window.Window_plan.run}); [session] is a persistent
+    structure store consulted when the query's FROM table is the session's
+    table and no WHERE clause filters it (see
     {!Holistic_window.Window_plan.run}).
     @raise Error on unknown tables/columns/functions or malformed calls. *)

@@ -1,12 +1,39 @@
 exception Parse_error of string * int
 exception Semantic_error of string
 
-let query ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables src =
+module Session = Holistic_window.Session
+
+let query ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session ~tables src =
   let ast =
     try Parser.parse src with Parser.Error (msg, off) -> raise (Parse_error (msg, off))
   in
-  try Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables ast
+  try Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session ~tables ast
   with Planner.Error msg -> raise (Semantic_error msg)
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: persistent structure stores over one table                *)
+(* ------------------------------------------------------------------ *)
+
+let session_create ?pool table = Session.create ?pool table
+let session_table = Session.table
+
+let session_query ?fanout ?sample ?task_size ?algorithm ?evaluator ?(name = "t") session src =
+  query ?fanout ?sample ?task_size ?algorithm ?evaluator ~session
+    ~tables:[ (name, Session.table session) ]
+    src
+
+let session_append = Session.append_rows
+
+let session_evict session src =
+  let table = Session.table session in
+  let ast =
+    try Parser.parse_expr src with Parser.Error (msg, off) -> raise (Parse_error (msg, off))
+  in
+  let pred =
+    try Planner.lower_expr table ast with Planner.Error msg -> raise (Semantic_error msg)
+  in
+  let f = Holistic_storage.Expr.compile table pred in
+  Session.evict_where session (fun row -> Holistic_storage.Expr.to_bool (f row))
 
 let rec expr_to_string (e : Ast.expr) =
   match e with
@@ -162,14 +189,16 @@ let explain src = explain_ast (Parser.parse src)
    description. Everything time-valued prints as "%.3f ms" so tests can
    mask it; structure, row counts and counters are deterministic for a
    given pool size. *)
-let explain_analyze ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables src =
+let explain_analyze ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session ~tables src =
   let ast =
     try Parser.parse src with Parser.Error (msg, off) -> raise (Parse_error (msg, off))
   in
   let result, trace =
     Holistic_obs.Obs.with_capture (fun () ->
         Holistic_obs.Obs.span "sql.query" (fun () ->
-            try Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables ast
+            try
+              Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session
+                ~tables ast
             with Planner.Error msg -> raise (Semantic_error msg)))
   in
   let b = Buffer.create 1024 in
@@ -180,11 +209,20 @@ let explain_analyze ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tabl
   Buffer.add_string b (Holistic_obs.Obs.render trace);
   (result, Buffer.contents b)
 
-let explain_analyze_trace ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables src =
+let explain_analyze_trace ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session ~tables
+    src =
   let ast =
     try Parser.parse src with Parser.Error (msg, off) -> raise (Parse_error (msg, off))
   in
   Holistic_obs.Obs.with_capture (fun () ->
       Holistic_obs.Obs.span "sql.query" (fun () ->
-          try Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ~tables ast
+          try
+            Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session ~tables
+              ast
           with Planner.Error msg -> raise (Semantic_error msg)))
+
+let session_explain_analyze ?fanout ?sample ?task_size ?algorithm ?evaluator ?(name = "t")
+    session src =
+  explain_analyze ?fanout ?sample ?task_size ?algorithm ?evaluator ~session
+    ~tables:[ (name, Session.table session) ]
+    src

@@ -20,6 +20,8 @@ exception Parse_error of string * int  (** message, character offset *)
 
 exception Semantic_error of string
 
+module Session = Holistic_window.Session
+
 val query :
   ?pool:Holistic_parallel.Task_pool.t ->
   ?fanout:int ->
@@ -27,12 +29,70 @@ val query :
   ?task_size:int ->
   ?algorithm:Holistic_window.Window_func.algorithm ->
   ?evaluator:Holistic_window.Evaluator_choice.name ->
+  ?session:Session.t ->
   tables:(string * Table.t) list ->
   string ->
   Table.t
 (** Parses and executes one SELECT statement against the named tables.
     [evaluator] forces every [Auto] window item onto one backend (strict;
-    see {!Holistic_window.Window_plan.run}). *)
+    see {!Holistic_window.Window_plan.run}); [session] is a persistent
+    structure store consulted and refilled when the FROM table is the
+    session's table and no WHERE clause filters it. *)
+
+(** {2 Sessions}
+
+    A session pins one table and carries its sorted orders, partition
+    layouts, per-partition index structures and per-item outputs across
+    queries. Appends and evictions maintain the cached state incrementally
+    (run-stacked merge-sort trees, extended rank encodings, merged sort
+    runs) instead of discarding it; results are bit-identical to evaluating
+    from scratch. See {!Holistic_window.Session}. *)
+
+val session_create : ?pool:Holistic_parallel.Task_pool.t -> Table.t -> Session.t
+(** A fresh session owning [table]; structures populate on first query. *)
+
+val session_table : Session.t -> Table.t
+(** The session's current table (appends and evictions replace it). *)
+
+val session_query :
+  ?fanout:int ->
+  ?sample:int ->
+  ?task_size:int ->
+  ?algorithm:Holistic_window.Window_func.algorithm ->
+  ?evaluator:Holistic_window.Evaluator_choice.name ->
+  ?name:string ->
+  Session.t ->
+  string ->
+  Table.t
+(** {!query} with the session's table bound under [name] (default ["t"])
+    and the session's structure store engaged. *)
+
+val session_append : Session.t -> Table.t -> unit
+(** Appends [delta]'s rows (same schema) to the session's table and
+    incrementally maintains every cached structure; see
+    {!Holistic_window.Session.append_rows}. *)
+
+val session_evict : Session.t -> string -> unit
+(** [session_evict s pred] parses [pred] as a scalar predicate over the
+    session table's columns (e.g. ["ts < date '2024-01-01'"]) and bulk-
+    evicts every row it selects, compacting the cached structures in place;
+    see {!Holistic_window.Session.evict_where}.
+    @raise Parse_error / Semantic_error on a malformed predicate. *)
+
+val session_explain_analyze :
+  ?fanout:int ->
+  ?sample:int ->
+  ?task_size:int ->
+  ?algorithm:Holistic_window.Window_func.algorithm ->
+  ?evaluator:Holistic_window.Evaluator_choice.name ->
+  ?name:string ->
+  Session.t ->
+  string ->
+  Table.t * string
+(** {!explain_analyze} through the session: the report's sort and build
+    spans carry cache provenance tags — [reused(epoch=k)],
+    [maintained(+n rows)], [rebuilt(stale)] — showing how each structure
+    was obtained. *)
 
 val explain : string -> string
 (** Parses the statement and renders the recognised structure (for the CLI
@@ -45,6 +105,7 @@ val explain_analyze :
   ?task_size:int ->
   ?algorithm:Holistic_window.Window_func.algorithm ->
   ?evaluator:Holistic_window.Evaluator_choice.name ->
+  ?session:Session.t ->
   tables:(string * Table.t) list ->
   string ->
   Table.t * string
@@ -64,6 +125,7 @@ val explain_analyze_trace :
   ?task_size:int ->
   ?algorithm:Holistic_window.Window_func.algorithm ->
   ?evaluator:Holistic_window.Evaluator_choice.name ->
+  ?session:Session.t ->
   tables:(string * Table.t) list ->
   string ->
   Table.t * Holistic_obs.Obs.trace

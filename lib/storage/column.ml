@@ -116,6 +116,32 @@ let take t rows =
   in
   make ?nulls data
 
+(* Concatenation for the session append path: same-typed payloads are
+   blitted; an Ints/Floats mix (or a typeless all-NULL prefix) follows
+   [of_values]'s numeric-promotion rules via the boxed fallback. *)
+let append a b =
+  let n1 = length a and n2 = length b in
+  let nulls =
+    match a.nulls, b.nulls with
+    | None, None -> None
+    | _ ->
+        let m = Bitset.create (n1 + n2) in
+        for i = 0 to n1 - 1 do
+          if is_null a i then Bitset.set m i
+        done;
+        for i = 0 to n2 - 1 do
+          if is_null b i then Bitset.set m (n1 + i)
+        done;
+        Some m
+  in
+  match a.data, b.data with
+  | Ints x, Ints y -> make ?nulls (Ints (Array.append x y))
+  | Floats x, Floats y -> make ?nulls (Floats (Array.append x y))
+  | Strings x, Strings y -> make ?nulls (Strings (Array.append x y))
+  | Bools x, Bools y -> make ?nulls (Bools (Array.append x y))
+  | Dates x, Dates y -> make ?nulls (Dates (Array.append x y))
+  | _ -> of_values (Array.init (n1 + n2) (fun i -> if i < n1 then get a i else get b (i - n1)))
+
 let distinct_ids t =
   let n = length t in
   let null_id = min_int in

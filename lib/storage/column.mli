@@ -38,6 +38,11 @@ val take : t -> int array -> t
 (** [take c rows] gathers the given row indices into a fresh column
     (projection/selection support for the SQL layer). *)
 
+val append : t -> t -> t
+(** [append a b] concatenates two columns (the session-layer append path).
+    Same-typed payloads blit; an Int/Float mix follows {!of_values}'s
+    numeric promotion. @raise Invalid_argument on incompatible types. *)
+
 val distinct_ids : t -> int array
 (** Dense integer equality keys: two rows receive the same id iff their
     values are SQL-equal (NULLs all share one id; callers filter NULLs for

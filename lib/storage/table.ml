@@ -30,6 +30,11 @@ let gather t rows =
   { columns = List.map (fun (name, c) -> (name, Column.take c rows)) t.columns;
     nrows = Array.length rows }
 
+let append t delta =
+  if column_names t <> column_names delta then
+    invalid_arg "Table.append: column names mismatch";
+  create (List.map2 (fun (n, a) (_, b) -> (n, Column.append a b)) t.columns delta.columns)
+
 let row_values t i = List.map (fun (_, c) -> Column.get c i) t.columns
 
 let print ?(max_rows = 20) ?(out = stdout) t =

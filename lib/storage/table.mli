@@ -19,6 +19,11 @@ val gather : t -> int array -> t
 (** Row selection: the table restricted to (and reordered by) the given row
     indices. *)
 
+val append : t -> t -> t
+(** [append t delta] concatenates [delta]'s rows below [t]'s. Both tables
+    must have the same column names in the same order.
+    @raise Invalid_argument otherwise. *)
+
 val row_values : t -> int -> Value.t list
 
 val print : ?max_rows:int -> ?out:out_channel -> t -> unit

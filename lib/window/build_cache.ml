@@ -61,12 +61,28 @@ module Sum_count_mst = Annotated.Make (Sum_count_monoid)
 
 (* Build totals are shared by every cache of a plan run and bumped from
    whichever domain evaluates the partition, so they are atomics rather
-   than mutable ints. *)
-type counters = { encode_builds : int Atomic.t; tree_builds : int Atomic.t }
+   than mutable ints. [maintained]/[rebuilt] count what happened to stale
+   entries (session epochs): an incremental patch vs a from-scratch
+   rebuild. *)
+type counters = {
+  encode_builds : int Atomic.t;
+  tree_builds : int Atomic.t;
+  maintained : int Atomic.t;
+  rebuilt : int Atomic.t;
+}
 
-let fresh_counters () = { encode_builds = Atomic.make 0; tree_builds = Atomic.make 0 }
+let fresh_counters () =
+  {
+    encode_builds = Atomic.make 0;
+    tree_builds = Atomic.make 0;
+    maintained = Atomic.make 0;
+    rebuilt = Atomic.make 0;
+  }
+
 let encode_build_count c = Atomic.get c.encode_builds
 let tree_build_count c = Atomic.get c.tree_builds
+let maintained_count c = Atomic.get c.maintained
+let rebuilt_count c = Atomic.get c.rebuilt
 
 type extra_filter = Ex_none | Ex_nonnull of Expr.t
 type qual = { filter : Expr.t option; extra : extra_filter }
@@ -92,12 +108,21 @@ type seg_tree = Sum_tree of Vsum_seg.t | Min_tree of Vmin_seg.t | Max_tree of Vm
    never do: the dependency chain runs encode → tree, remap → tree, and
    each kind lives in its own table); cross-table nesting is fine because
    each table has its own lock and the chain is acyclic. *)
-type ('k, 'v) guarded = { lock : Mutex.t; tbl : ('k, 'v) Hashtbl.t }
+(* Every cached structure remembers the cache epoch it was built (or last
+   maintained) at.  In the historical per-query use the epoch never moves
+   and [at] is always current — zero behavioural change.  A session bumps
+   the epoch ({!advance}) when the partition's rows were extended: entries
+   from an older epoch are stale, and the next request either patches them
+   incrementally (the accessor's [maintain] callback) or rebuilds. *)
+type 'v entry = { v : 'v; at : int }
+
+type ('k, 'v) guarded = { lock : Mutex.t; tbl : ('k, 'v entry) Hashtbl.t }
 
 let guarded n = { lock = Mutex.create (); tbl = Hashtbl.create n }
 
 type t = {
   counters : counters;
+  mutable epoch : int;
   encodes : (Sort_spec.t, Rank_encode.t) guarded;
   remaps : (qual, Remap.t) guarded;
   peers : (Sort_spec.t, int array * int array) guarded;
@@ -114,6 +139,7 @@ let create ?counters () =
   let counters = match counters with Some c -> c | None -> fresh_counters () in
   {
     counters;
+    epoch = 0;
     encodes = guarded 4;
     remaps = guarded 4;
     peers = guarded 4;
@@ -127,6 +153,8 @@ let create ?counters () =
   }
 
 let counters t = t.counters
+let epoch t = t.epoch
+let advance t = t.epoch <- t.epoch + 1
 
 (* Cache-wide observability: hits and misses across every accessor, a
    [build] span (tagged with the structure kind) around each miss so
@@ -136,6 +164,8 @@ let counters t = t.counters
    [mem.structure_bytes] counter. *)
 let c_hit = Obs.Counter.make "cache.hit"
 let c_miss = Obs.Counter.make "cache.miss"
+let c_maintained = Obs.Counter.make "cache.maintained"
+let c_rebuilt = Obs.Counter.make "cache.rebuilt"
 let c_struct_bytes = Obs.Counter.make "mem.structure_bytes"
 
 (* per-structure footprints (repo-wide memory-accounting contract) *)
@@ -159,71 +189,101 @@ let built ~bytes v =
 
 (* The lock is held across the build (exactly-once under concurrency, see
    the [guarded] note); [count] bumps the relevant build counter only when
-   a build actually ran. *)
-let memo_in ~kind ~bytes ?count g key build =
+   a build (or an incremental patch) actually ran.
+
+   Cache provenance on the build span ([EXPLAIN ANALYZE]): a stale entry
+   patched by the [maintain] callback tags [maintained(<detail>)] (the
+   callback supplies the detail, e.g. "+40 rows"); a stale entry the
+   callback declined — or that has no callback — tags [rebuilt(stale)].
+   A fresh build carries no tag (the historical span shape: staleness
+   only exists under a session).  An entry at the current epoch is a
+   plain hit and opens no span. *)
+let memo_in ~kind ~bytes ?count ?maintain ~cnt ~epoch g key build =
   Mutex.lock g.lock;
   match Hashtbl.find_opt g.tbl key with
-  | Some v ->
+  | Some e when e.at = epoch ->
       Mutex.unlock g.lock;
       Obs.Counter.incr c_hit;
-      v
-  | None -> (
+      e.v
+  | found -> (
+      let prev = match found with Some e -> Some e.v | None -> None in
+      let prov = ref (match prev with Some _ -> "rebuilt(stale)" | None -> "") in
       match
         Obs.Counter.incr c_miss;
-        Obs.span "build" ~args:(fun () -> [ ("kind", kind) ]) (fun () -> built ~bytes (build ()))
+        Obs.span "build"
+          ~args:(fun () ->
+            ("kind", kind) :: (if !prov = "" then [] else [ ("cache", !prov) ]))
+          (fun () ->
+            let patched =
+              match prev, maintain with Some v, Some f -> f v | _ -> None
+            in
+            match patched with
+            | Some (v', detail) ->
+                prov := Printf.sprintf "maintained(%s)" detail;
+                Obs.Counter.incr c_maintained;
+                Atomic.incr cnt.maintained;
+                built ~bytes v'
+            | None ->
+                if prev <> None then begin
+                  Obs.Counter.incr c_rebuilt;
+                  Atomic.incr cnt.rebuilt
+                end;
+                (match count with None -> () | Some c -> Atomic.incr c);
+                built ~bytes (build ()))
       with
       | v ->
-          (match count with None -> () | Some c -> Atomic.incr c);
-          Hashtbl.add g.tbl key v;
+          Hashtbl.replace g.tbl key { v; at = epoch };
           Mutex.unlock g.lock;
           v
       | exception e ->
           Mutex.unlock g.lock;
           raise e)
 
-let memo ~kind ~bytes g key build = memo_in ~kind ~bytes g key build
+let memo ~kind ~bytes ?maintain t g key build =
+  memo_in ~kind ~bytes ?maintain ~cnt:t.counters ~epoch:t.epoch g key build
 
-let memo_tree ~kind ~bytes g counters key build =
-  memo_in ~kind ~bytes ~count:counters.tree_builds g key build
+let memo_tree ~kind ~bytes ?maintain t g key build =
+  memo_in ~kind ~bytes ~count:t.counters.tree_builds ?maintain ~cnt:t.counters ~epoch:t.epoch g
+    key build
 
-let encode t ~order build =
+let encode t ?maintain ~order build =
   memo_in ~kind:"encode" ~bytes:Rank_encode.footprint_bytes ~count:t.counters.encode_builds
-    t.encodes order build
+    ?maintain ~cnt:t.counters ~epoch:t.epoch t.encodes order build
 
-let remap t ~qual build = memo ~kind:"remap" ~bytes:Remap.footprint_bytes t.remaps qual build
-let peers t ~order build = memo ~kind:"peers" ~bytes:peers_bytes t.peers order build
+let remap t ~qual build = memo ~kind:"remap" ~bytes:Remap.footprint_bytes t t.remaps qual build
+let peers t ~order build = memo ~kind:"peers" ~bytes:peers_bytes t t.peers order build
 
 (* Structure keys carry the evaluator that built them ([algo], the
    [Evaluator_choice.to_string] spelling): two items share a tree only when
    the planner resolved them to the same backend.  Defaults name the
    backend that historically owned each structure, so pre-cost-model call
    sites key identically to before. *)
-let count_tree t ?(algo = "mst") ~cls ~order ~qual ~sample build =
+let count_tree t ?(algo = "mst") ?maintain ~cls ~order ~qual ~sample build =
   let kind = match cls with Rank_codes -> "mst.rank" | Row_codes -> "mst.row" | Select_perm -> "mst.select" in
-  memo_tree ~kind ~bytes:Mstw.footprint_bytes t.count_trees t.counters (algo, cls, order, qual, sample) build
+  memo_tree ~kind ~bytes:Mstw.footprint_bytes ?maintain t t.count_trees (algo, cls, order, qual, sample) build
 
 let range_tree t ?(algo = "mst") ~order ~qual ~sample build =
-  memo_tree ~kind:"range_tree" ~bytes:Range_tree.footprint_bytes t.range_trees t.counters
+  memo_tree ~kind:"range_tree" ~bytes:Range_tree.footprint_bytes t t.range_trees
     (algo, order, qual, sample) build
 
-let arg_ids t ~arg ~qual build = memo ~kind:"arg_ids" ~bytes:int_array_bytes t.arg_ids (arg, qual) build
-let prev_array t ~arg ~qual build = memo ~kind:"prev" ~bytes:int_array_bytes t.prev_arrays (arg, qual) build
+let arg_ids t ~arg ~qual build = memo ~kind:"arg_ids" ~bytes:int_array_bytes t t.arg_ids (arg, qual) build
+let prev_array t ~arg ~qual build = memo ~kind:"prev" ~bytes:int_array_bytes t t.prev_arrays (arg, qual) build
 
-let distinct_tree t ?(algo = "mst") ~arg ~qual ~sample build =
-  memo_tree ~kind:"mst.distinct" ~bytes:Mstw.footprint_bytes t.distinct_trees t.counters
+let distinct_tree t ?(algo = "mst") ?maintain ~arg ~qual ~sample build =
+  memo_tree ~kind:"mst.distinct" ~bytes:Mstw.footprint_bytes ?maintain t t.distinct_trees
     (algo, arg, qual, sample) build
 
 let annotated_tree t ?(algo = "mst") ~arg ~qual ~sample build =
-  memo_tree ~kind:"mst.annotated" ~bytes:Sum_count_mst.footprint_bytes t.annotated_trees t.counters
+  memo_tree ~kind:"mst.annotated" ~bytes:Sum_count_mst.footprint_bytes t t.annotated_trees
     (algo, arg, qual, sample) build
 
 let seg_tree t ?(algo = "segment-tree") ~cls ~arg ~qual build =
-  memo_tree ~kind:"segment_tree" ~bytes:seg_tree_bytes t.seg_trees t.counters (algo, cls, arg, qual) build
+  memo_tree ~kind:"segment_tree" ~bytes:seg_tree_bytes t t.seg_trees (algo, cls, arg, qual) build
 
 let footprint_bytes t =
   let sum bytes g =
     Mutex.lock g.lock;
-    let b = Hashtbl.fold (fun _ v acc -> acc + bytes v) g.tbl 0 in
+    let b = Hashtbl.fold (fun _ e acc -> acc + bytes e.v) g.tbl 0 in
     Mutex.unlock g.lock;
     b
   in

@@ -64,18 +64,27 @@ end
 
 module Sum_count_mst : module type of Holistic_core.Annotated_mst.Make (Sum_count_monoid)
 
-type counters = { encode_builds : int Atomic.t; tree_builds : int Atomic.t }
+type counters = {
+  encode_builds : int Atomic.t;
+  tree_builds : int Atomic.t;
+  maintained : int Atomic.t;
+  rebuilt : int Atomic.t;
+}
 (** Running build totals, shared across caches (one [counters] record per
     plan run): [encode_builds] counts {!Rank_encode} constructions,
     [tree_builds] counts index-structure constructions (MSTs, annotated
-    MSTs, range trees, segment trees).  Atomics: under the morsel-driven
-    plan the counts are bumped from whichever domain evaluates the
-    partition. *)
+    MSTs, range trees, segment trees).  [maintained]/[rebuilt] count what
+    happened to entries stale under a session epoch: incrementally patched
+    vs rebuilt from scratch (a rebuild also bumps the build total; a patch
+    does not).  Atomics: under the morsel-driven plan the counts are
+    bumped from whichever domain evaluates the partition. *)
 
 val fresh_counters : unit -> counters
 
 val encode_build_count : counters -> int
 val tree_build_count : counters -> int
+val maintained_count : counters -> int
+val rebuilt_count : counters -> int
 
 type extra_filter = Ex_none | Ex_nonnull of Expr.t
 (** The implicit NULL-skipping component of a qualifying-row predicate:
@@ -104,8 +113,25 @@ val create : ?counters:counters -> unit -> t
 
 val counters : t -> counters
 
+val epoch : t -> int
+(** The cache's current epoch. Starts at 0 and only moves under a session
+    ({!advance}); in per-query use every entry is at the current epoch. *)
+
+val advance : t -> unit
+(** Bump the epoch: every cached structure becomes stale (the partition's
+    rows were extended), to be incrementally maintained — via the
+    accessors' [maintain] callbacks — or rebuilt on its next request.
+    Must not race with accessor calls (the session mutates between
+    queries). *)
+
 (** Each accessor returns the cached structure for its key, calling the
     build thunk (and counting the build) only on the first request.
+
+    A stale entry (built before the last {!advance}) is passed to the
+    [maintain] callback where one is given: [Some (v', detail)] stores the
+    incrementally patched structure (provenance [maintained(detail)] on
+    the build span); [None] — or no callback — falls back to the build
+    thunk (provenance [rebuilt(stale)]).
 
     Tree keys additionally carry [algo] — the {!Evaluator_choice.to_string}
     spelling of the backend the structure was resolved to — so items the
@@ -114,14 +140,21 @@ val counters : t -> counters
     ("mst" for the MST family, "segment-tree" for segment trees), keeping
     pre-cost-model call sites on identical keys. *)
 
-val encode : t -> order:Sort_spec.t -> (unit -> Rank_encode.t) -> Rank_encode.t
+val encode :
+  t ->
+  ?maintain:(Rank_encode.t -> (Rank_encode.t * string) option) ->
+  order:Sort_spec.t ->
+  (unit -> Rank_encode.t) ->
+  Rank_encode.t
+
 val remap : t -> qual:qual -> (unit -> Remap.t) -> Remap.t
 
 val peers :
   t -> order:Sort_spec.t -> (unit -> int array * int array) -> int array * int array
 
 val count_tree :
-  t -> ?algo:string -> cls:codes_class -> order:Sort_spec.t -> qual:qual -> sample:int ->
+  t -> ?algo:string -> ?maintain:(Mstw.t -> (Mstw.t * string) option) ->
+  cls:codes_class -> order:Sort_spec.t -> qual:qual -> sample:int ->
   (unit -> Mstw.t) -> Mstw.t
 
 val range_tree :
@@ -132,7 +165,8 @@ val arg_ids : t -> arg:Expr.t -> qual:qual -> (unit -> int array) -> int array
 val prev_array : t -> arg:Expr.t -> qual:qual -> (unit -> int array) -> int array
 
 val distinct_tree :
-  t -> ?algo:string -> arg:Expr.t -> qual:qual -> sample:int -> (unit -> Mstw.t) -> Mstw.t
+  t -> ?algo:string -> ?maintain:(Mstw.t -> (Mstw.t * string) option) ->
+  arg:Expr.t -> qual:qual -> sample:int -> (unit -> Mstw.t) -> Mstw.t
 
 val annotated_tree :
   t -> ?algo:string -> arg:Expr.t -> qual:qual -> sample:int ->

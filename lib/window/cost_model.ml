@@ -117,8 +117,13 @@ let mst_levels ~fanout n =
   let rec go acc cap = if cap >= n then acc else go (acc + 1) (cap * fanout) in
   max 1 (go 0 1)
 
-(* Predicted evaluation time for one partition, in nanoseconds. *)
-let cost c (i : inputs) name =
+(* Predicted evaluation time for one partition, in nanoseconds.  [sunk]
+   lists backends whose index structure is already cached for this item
+   (a session kept it across queries): their build term is spent, so only
+   probes count — which can flip a choice towards the structure that
+   exists.  Only the structure-building backends have a build term. *)
+let cost ?(sunk = []) c (i : inputs) name =
+  let built = List.mem name sunk in
   let n = float_of_int (max 1 i.rows) in
   let w = Float.max 1.0 (Float.min n i.frame_rows) in
   let lg x = Float.log (Float.max 2.0 x) /. Float.log 2.0 in
@@ -138,13 +143,14 @@ let cost c (i : inputs) name =
     | Ec.C_select -> c.naive_select_ns
     | Ec.C_trivial_count | Ec.C_plain_agg | Ec.C_rank -> c.naive_row_ns
   in
+  let build x = if built then 0.0 else x in
   match name with
   | Ec.Naive -> n *. w *. naive_ns
-  | Ec.Segment_tree -> (n *. c.seg_build_ns) +. (n *. lg n *. c.seg_probe_ns)
-  | Ec.Mst -> (n *. lv *. c.mst_build_ns) +. (n *. lv *. c.mst_probe_ns)
+  | Ec.Segment_tree -> build (n *. c.seg_build_ns) +. (n *. lg n *. c.seg_probe_ns)
+  | Ec.Mst -> build (n *. lv *. c.mst_build_ns) +. (n *. lv *. c.mst_probe_ns)
   | Ec.Mst_no_cascade ->
       (* no cascade samples: each probe re-binary-searches every level *)
-      (n *. lv *. c.mst_build_ns) +. (1.5 *. n *. lv *. c.mst_probe_ns)
+      build (n *. lv *. c.mst_build_ns) +. (1.5 *. n *. lv *. c.mst_probe_ns)
   | Ec.Incremental | Ec.Incremental_serial ->
       let per_op =
         c.inc_update_ns
@@ -176,11 +182,11 @@ type decision = {
   scores : (Ec.name * float) list;  (* per-partition ns for every candidate, incl. chosen *)
 }
 
-let choose c (i : inputs) =
+let choose ?sunk c (i : inputs) =
   let default = legacy_default i.cls ~holed:i.holed in
   let cands = List.filter (fun n -> Ec.supports n i.cls ~holed:i.holed) auto_candidates in
   let cands = if List.mem default cands then cands else default :: cands in
-  let scores = List.map (fun n -> (n, cost c i n)) cands in
+  let scores = List.map (fun n -> (n, cost ?sunk c i n)) cands in
   let best, best_cost =
     List.fold_left
       (fun (bn, bc) (n, x) -> if x < bc then (n, x) else (bn, bc))

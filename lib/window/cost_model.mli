@@ -48,8 +48,11 @@ val estimate_frame : Window_spec.t -> rows:int -> float * bool
 
 val mst_levels : fanout:int -> int -> int
 
-val cost : constants -> inputs -> Evaluator_choice.name -> float
-(** Predicted evaluation time for one partition, in nanoseconds. *)
+val cost : ?sunk:Evaluator_choice.name list -> constants -> inputs -> Evaluator_choice.name -> float
+(** Predicted evaluation time for one partition, in nanoseconds.  [sunk]
+    lists backends whose index structure is already cached for the item
+    (a {!Session} carried it across queries): their build term is treated
+    as spent, leaving only probe cost. *)
 
 val legacy_default : Evaluator_choice.func_class -> holed:bool -> Evaluator_choice.name
 (** The pre-cost-model pick: segment tree for plain aggregates,
@@ -65,4 +68,8 @@ type decision = {
       (** per-partition ns for every eligible candidate, incl. [chosen] *)
 }
 
-val choose : constants -> inputs -> decision
+val choose : ?sunk:Evaluator_choice.name list -> constants -> inputs -> decision
+(** The cheapest eligible backend, kept at {!legacy_default} unless the
+    predicted total saving clears [choice_floor_ns].  [sunk] as in
+    {!cost}: an already-cached structure's build cost is sunk, which can
+    flip the choice towards reusing it. *)

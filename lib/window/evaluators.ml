@@ -43,6 +43,15 @@ let unsupported what =
    even when [ctx.sample] is 0. *)
 let mst_tag = function Mst_no_cascade -> "mst-no-cascade" | _ -> "mst"
 
+(* [maintain] callback for cached MSTs: run-stack the grown leaf array
+   onto the stale tree ({!Mstw.try_extend}); [leaf] is a thunk because the
+   grown operand is only needed when the entry is actually stale. *)
+let mst_maintain ctx ~sample leaf old =
+  let a = leaf () in
+  match Mstw.try_extend ~fanout:ctx.fanout ~sample ~choice:ctx.width old a with
+  | Some t -> Some (t, Printf.sprintf "+%d rows" (Array.length a - Mstw.length old))
+  | None -> None
+
 (* ------------------------------------------------------------------ *)
 (* Shared preprocessing helpers                                        *)
 (* ------------------------------------------------------------------ *)
@@ -77,7 +86,31 @@ let effective_order ctx spec = if spec = [] then ctx.window_order else spec
    effective ORDER BY: rank + percent_rank + median over one named window
    encode once. *)
 let encode ctx order =
-  Build_cache.encode ctx.cache ~order (fun () ->
+  (* A stale encoding (the partition was extended in order under a
+     session) extends instead of rebuilding: the prefix rows are
+     untouched, so codes and permutation carry over and only the appended
+     suffix is sorted and coded.  Each arm mirrors its construction arm
+     below; [extend_*] themselves verify the suffix sorts after the
+     prefix and decline otherwise. *)
+  let maintain old =
+    let n = np ctx in
+    let grown = Printf.sprintf "+%d rows" (n - Array.length old.Rank_encode.permutation) in
+    let ext =
+      match Sort_spec.fast_key ctx.table order with
+      | Some (Sort_spec.Int_key (keys, false)) ->
+          Rank_encode.extend_ints old (Array.map (fun row -> keys.(row)) ctx.rows)
+      | Some (Sort_spec.Int_key (keys, true)) ->
+          Rank_encode.extend_cmp old n ~cmp:(fun i j ->
+              compare keys.(ctx.rows.(j)) keys.(ctx.rows.(i)))
+      | Some (Sort_spec.Float_key (keys, desc)) ->
+          Rank_encode.extend_floats ~desc old (Array.map (fun row -> keys.(row)) ctx.rows)
+      | None ->
+          let cmp_rows = Sort_spec.comparator ctx.table order in
+          Rank_encode.extend_cmp old n ~cmp:(fun i j -> cmp_rows ctx.rows.(i) ctx.rows.(j))
+    in
+    Option.map (fun enc -> (enc, grown)) ext
+  in
+  Build_cache.encode ctx.cache ~maintain ~order (fun () ->
       let n = np ctx in
       match Sort_spec.fast_key ctx.table order with
       | Some (Sort_spec.Int_key (keys, false)) ->
@@ -344,8 +377,9 @@ let eval_distinct_count ctx ~arg ~filter ~algorithm ~out =
         Build_cache.prev_array ctx.cache ~arg ~qual (fun () -> Prev.compute ~pool:ctx.pool ids)
       in
       let tree =
-        Build_cache.distinct_tree ctx.cache ~algo:(mst_tag algorithm) ~arg ~qual ~sample (fun () ->
-            Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width prev)
+        Build_cache.distinct_tree ctx.cache ~algo:(mst_tag algorithm) ~arg ~qual ~sample
+          ~maintain:(mst_maintain ctx ~sample (fun () -> prev))
+          (fun () -> Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width prev)
       in
       let next =
         if Frame.exclusion ctx.frame = Window_spec.Exclude_no_others then [||] else next_of prev
@@ -590,6 +624,7 @@ let eval_rank_family ctx ~variant ~order ~filter ~algorithm ~out =
         if needs_rank then
           Some
             (Build_cache.count_tree ctx.cache ~algo:(mst_tag algorithm) ~cls:Build_cache.Rank_codes ~order ~qual ~sample
+               ~maintain:(mst_maintain ctx ~sample (fun () -> frank))
                (fun () -> make frank))
         else None
       in
@@ -597,6 +632,7 @@ let eval_rank_family ctx ~variant ~order ~filter ~algorithm ~out =
         if needs_row then
           Some
             (Build_cache.count_tree ctx.cache ~algo:(mst_tag algorithm) ~cls:Build_cache.Row_codes ~order ~qual ~sample
+               ~maintain:(mst_maintain ctx ~sample (fun () -> frow))
                (fun () -> make frow))
         else None
       in
@@ -737,18 +773,22 @@ let eval_select_family ctx ~kind ~arg ~order ~ignore_nulls ~filter ~algorithm ~o
       let sample = if algorithm = Mst_no_cascade then 0 else ctx.sample in
       let make a = Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width a in
       (* permutation of filtered positions in function order = §4.5 Fig. 6 *)
+      let sel_perm () =
+        let keys = Array.copy fro in
+        let permf = Array.init m (fun i -> i) in
+        Introsort.sort_pairs ~key:keys ~payload:permf;
+        permf
+      in
       let sel_tree =
         Build_cache.count_tree ctx.cache ~algo:(mst_tag algorithm) ~cls:Build_cache.Select_perm ~order ~qual ~sample
-          (fun () ->
-            let keys = Array.copy fro in
-            let permf = Array.init m (fun i -> i) in
-            Introsort.sort_pairs ~key:keys ~payload:permf;
-            make permf)
+          ~maintain:(mst_maintain ctx ~sample sel_perm)
+          (fun () -> make (sel_perm ()))
       in
       let cnt_tree =
         if needs_rn then
           Some
             (Build_cache.count_tree ctx.cache ~algo:(mst_tag algorithm) ~cls:Build_cache.Row_codes ~order ~qual ~sample
+               ~maintain:(mst_maintain ctx ~sample (fun () -> fro))
                (fun () -> make fro))
         else None
       in

@@ -4,6 +4,6 @@
 
 let order_permutation = Window_plan.order_permutation
 
-let run ?pool ?fanout ?sample ?task_size ?width ?evaluator table ~over items =
-  Window_plan.run ?pool ?fanout ?sample ?task_size ?width ?evaluator table
+let run ?pool ?fanout ?sample ?task_size ?width ?evaluator ?session table ~over items =
+  Window_plan.run ?pool ?fanout ?sample ?task_size ?width ?evaluator ?session table
     [ { Window_plan.spec = over; items } ]

@@ -15,6 +15,7 @@ val run :
   ?task_size:int ->
   ?width:Holistic_core.Mst_width.choice ->
   ?evaluator:Evaluator_choice.name ->
+  ?session:Session.t ->
   Table.t ->
   over:Window_spec.t ->
   Window_func.t list ->
@@ -28,7 +29,9 @@ val run :
     {!Holistic_core.Mst_width.Auto}, §5.1 — the narrowest width the
     partition's rank encoding fits); [evaluator] forces every [Auto] item
     onto one backend, rejecting unsupported (function, backend) pairs —
-    without it the cost model picks per item (see {!Window_plan.run}). *)
+    without it the cost model picks per item (see {!Window_plan.run});
+    [session] is a persistent {!Session} structure store consulted and
+    populated when it owns [table] (see {!Window_plan.run}). *)
 
 val order_permutation :
   ?pool:Holistic_parallel.Task_pool.t -> Table.t -> over:Window_spec.t -> int array * int array

@@ -1,0 +1,135 @@
+(** Persistent structure store: a table session that carries sorted
+    permutations, partition boundaries, per-partition {!Build_cache}s and
+    finished item outputs {e across} queries, maintaining them under
+    incremental appends and bulk evictions instead of rebuilding.
+
+    The paper's query phase builds each structure once and probes it many
+    times; {!Build_cache} extends that guarantee across the items of one
+    query, and a session extends it across queries: a stage is keyed on
+    its (PARTITION BY, ORDER BY) pair — the same structural keys the plan
+    groups by — and its state survives until a mutation invalidates it.
+
+    Mutations maintain rather than invalidate wherever the result is
+    {e bit-identical} to a from-scratch rebuild:
+
+    - {b appends} merge the sorted new rows into the existing permutation
+      as a second run (the parallel sort's own OVC loser-tree merge);
+      partitions whose new rows all sort after their old rows keep their
+      caches, marked stale for the accessors' incremental [maintain]
+      callbacks (rank-encode extension, MST run-stacking); out-of-order
+      appends invalidate exactly the partitions they interleave into;
+    - {b evictions} filter the permutation and renumber the survivors —
+      no re-sort at all — keeping every untouched partition's caches and
+      cached outputs.
+
+    Sessions are single-threaded between queries: mutations must not
+    overlap a running {!Window_plan.run}. *)
+
+open Holistic_storage
+module Task_pool = Holistic_parallel.Task_pool
+
+(** {2 Shared sort primitives}
+
+    The plan's partition-key computation and full sort live here, below
+    {!Window_plan}, because maintenance must reproduce them bit for bit;
+    the plan aliases them. *)
+
+val partition_ids : Task_pool.t -> Table.t -> Expr.t list -> int array option
+(** Dense integer partition keys for the PARTITION BY expressions: equal
+    iff every expression agrees ([None] for an empty list — one global
+    partition). *)
+
+val boundaries_of_key0 : key0:int array -> divisor:int -> int -> int array
+(** Partition boundary offsets read off the sorted leading key word (the
+    partition component is [word / divisor]). *)
+
+val full_sort :
+  Task_pool.t ->
+  Table.t ->
+  pids:int array option ->
+  order:Sort_spec.t ->
+  int array * int array * bool
+(** [(perm, boundaries, comparator_path)] — the plan's from-scratch
+    (partition, order) sort through the key codec. *)
+
+(** {2 The store} *)
+
+type status =
+  | Reused  (** slice untouched since last query: outputs and caches valid *)
+  | Extended of int
+      (** in-order append: first [k] rows unchanged, caches stale but
+          incrementally maintainable *)
+  | Rebuilt  (** fresh or invalidated: nothing to reuse *)
+
+type okey = Window_spec.t * Window_func.func * Expr.t option
+(** Structural key of one item's finished output within a stage
+    partition: the clause spec, the function and the FILTER clause. *)
+
+type part = {
+  cache : Build_cache.t;
+  outputs : (okey, Value.t array) Hashtbl.t;  (** values in slice order *)
+  mutable status : status;
+}
+
+type t
+
+val create : ?pool:Task_pool.t -> Table.t -> t
+(** A session over [table]. [pool] (default {!Task_pool.default}) runs
+    maintenance-time sorts and partition-key passes. *)
+
+val table : t -> Table.t
+(** The session's current table — pass exactly this to the plan. *)
+
+val epoch : t -> int
+(** Mutations applied so far. *)
+
+val counters : t -> Build_cache.counters
+(** Session-lifetime build/maintenance totals (the plan reports per-query
+    deltas against these). *)
+
+val pids_for : t -> pb:Expr.t list -> compute:(unit -> int array option) -> int array option
+(** Cached partition ids for one PARTITION BY list, computing and
+    remembering them on first request; mutations refresh every cached
+    array on the new table. *)
+
+val lookup :
+  t ->
+  pb:Expr.t list ->
+  order:Sort_spec.t ->
+  (int array
+  * int array
+  * part array
+  * string
+  * (okey, Evaluator_choice.name) Hashtbl.t)
+  option
+(** The stored stage for [(pb, order)], if any: permutation, boundaries,
+    per-partition state, a provenance tag for the stage's sort span
+    ([maintained(+n rows)] / [maintained(-n rows)] / [rebuilt(reason)]
+    right after a mutation, [reused(epoch=k)] thereafter) and the
+    per-item backend memo from the previous query (those structures are
+    cached, so the cost model treats their build cost as sunk). *)
+
+val store :
+  t ->
+  pb:Expr.t list ->
+  order:Sort_spec.t ->
+  perm:int array ->
+  boundaries:int array ->
+  part array * (okey, Evaluator_choice.name) Hashtbl.t
+(** Register a freshly computed stage and return its (empty) part states
+    for the evaluation that follows. *)
+
+val append_rows : t -> Table.t -> unit
+(** Append [delta]'s rows (same column names) below the session table and
+    incrementally maintain every stored stage.
+    @raise Invalid_argument on column mismatch, like {!Table.append}. *)
+
+val evict_where : t -> (int -> bool) -> unit
+(** Evict every row whose {e current} row id satisfies the predicate. *)
+
+val evict_prefix : t -> int -> unit
+(** Evict the first [k] rows (clamped to the table size). *)
+
+val footprint_bytes : t -> int
+(** Approximate bytes held by the store: permutations, boundaries, cached
+    structures and cached outputs. *)

@@ -3,7 +3,6 @@ module Obs = Holistic_obs.Obs
 module Task_pool = Holistic_parallel.Task_pool
 module Introsort = Holistic_sort.Introsort
 module Multiway = Holistic_sort.Multiway
-module Parallel_sort = Holistic_sort.Parallel_sort
 
 type clause = { spec : Window_spec.t; items : Window_func.t list }
 
@@ -13,126 +12,21 @@ type stats = {
   full_sorts : int;
   partial_sorts : int;
   reused_sorts : int;
+  session_sorts : int;
   comparator_sorts : int;
   encode_builds : int;
   tree_builds : int;
 }
 
 (* ------------------------------------------------------------------ *)
-(* Partition keys                                                      *)
+(* Partition keys and full sorts                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Integer partition keys from the PARTITION BY expressions: two rows get
-   equal keys iff every expression agrees. Per-column keys are computed
-   column-at-a-time (no per-row list allocation, and the expression phase
-   parallelises over the pool); multi-column keys are packed after
-   densifying each side, so the combine is pure integer arithmetic. The
-   stdlib [Hashtbl] compares with polymorphic equality, which preserves the
-   SQL-ish grouping of the old row-key path (NULLs group together, [nan]
-   equals [nan]). *)
-let densify_ints a =
-  let tbl = Hashtbl.create 256 in
-  Array.map
-    (fun v ->
-      match Hashtbl.find_opt tbl v with
-      | Some id -> id
-      | None ->
-          let id = Hashtbl.length tbl in
-          Hashtbl.add tbl v id;
-          id)
-    a
-
-let partition_ids pool table exprs =
-  let n = Table.nrows table in
-  match exprs with
-  | [] -> None
-  | _ ->
-      let key_of_expr e =
-        match e with
-        | Expr.Col name ->
-            (* exact per-column equality keys; raw values for int-like
-               columns, so no hash table at all on this path *)
-            Column.distinct_ids (Table.column table name)
-        | _ ->
-            let f = Expr.compile table e in
-            let vals = Array.make n Value.Null in
-            Task_pool.parallel_for pool ~lo:0 ~hi:n ~chunk:Task_pool.default_task_size
-              (fun lo hi ->
-                for i = lo to hi - 1 do
-                  Array.unsafe_set vals i (f i)
-                done);
-            let tbl = Hashtbl.create 256 in
-            Array.map
-              (fun v ->
-                match Hashtbl.find_opt tbl v with
-                | Some id -> id
-                | None ->
-                    let id = Hashtbl.length tbl in
-                    Hashtbl.add tbl v id;
-                    id)
-              vals
-      in
-      let ids =
-        match List.map key_of_expr exprs with
-        | [] -> assert false
-        | [ k ] -> k
-        | k :: rest ->
-            (* pack pairwise: densified ids are < n, so [a * n + b] is
-               collision-free and stays well inside 63-bit range *)
-            List.fold_left
-              (fun acc k ->
-                let a = densify_ints acc and b = densify_ints k in
-                Array.init n (fun i -> (a.(i) * n) + b.(i)))
-              k rest
-      in
-      Some ids
-
-(* ------------------------------------------------------------------ *)
-(* Sorting: full (partition, order) sorts and partial re-sorts          *)
-(* ------------------------------------------------------------------ *)
-
-(* Partition boundaries straight off the sorted leading key word: the
-   partition component of word 0 is [word / divisor] (see
-   {!Key_codec.pid_divisor}), so boundaries need no second pass over
-   partition ids through the permutation. Count-then-fill: no O(n) list
-   churn. *)
-let boundaries_of_key0 ~key0 ~divisor n =
-  let count = ref 1 in
-  for k = 1 to n - 1 do
-    if key0.(k) / divisor <> key0.(k - 1) / divisor then incr count
-  done;
-  let b = Array.make (!count + 1) 0 in
-  b.(!count) <- n;
-  let idx = ref 1 in
-  for k = 1 to n - 1 do
-    if key0.(k) / divisor <> key0.(k - 1) / divisor then begin
-      b.(!idx) <- k;
-      incr idx
-    end
-  done;
-  b
-
-(* Every full sort goes through the key codec: partition ids become the
-   leading component of word 0, ORDER BY keys become the remaining words,
-   and the parallel run-sort/OVC-merge machinery does the rest. A sort
-   counts as comparator-path only when the codec produced no words at all
-   (nothing but closure comparisons) — the regression the stats guard
-   against. Returns [(perm, partition boundaries, comparator_path)]. *)
-let full_sort pool table ~pids ~order =
-  let n = Table.nrows table in
-  let kc = Key_codec.compile ?pids table order in
-  let perm, key0 =
-    Parallel_sort.sort_encoded pool ~n ~words:kc.Key_codec.words ?tie:kc.Key_codec.residual ()
-  in
-  let boundaries =
-    match kc.Key_codec.pid_divisor with
-    | None -> [| 0; n |]
-    | Some divisor -> boundaries_of_key0 ~key0 ~divisor n
-  in
-  let comparator_path =
-    Array.length kc.Key_codec.words = 0 && kc.Key_codec.residual <> None
-  in
-  (perm, boundaries, comparator_path)
+(* These moved to {!Session}: the store's mutation paths must reproduce
+   the plan's partition keys and sorts bit for bit, so both layers share
+   one definition (the session sits below the plan). *)
+let partition_ids = Session.partition_ids
+let full_sort = Session.full_sort
 
 (* Partial-sort sharing (Cao et al., arXiv:1208.0086): a stage whose
    partitioning matches an earlier sort re-sorts only within the inherited
@@ -304,6 +198,7 @@ let c_partition_passes = Obs.Counter.make "plan.partition_passes"
 let c_full_sorts = Obs.Counter.make "plan.full_sorts"
 let c_partial_sorts = Obs.Counter.make "plan.partial_sorts"
 let c_reused_sorts = Obs.Counter.make "plan.reused_sorts"
+let c_session_sorts = Obs.Counter.make "plan.session_sorts"
 let c_comparator_sorts = Obs.Counter.make "plan.comparator_sorts"
 
 (* One pick counter per backend: every resolved (stage, item) bumps its
@@ -347,7 +242,7 @@ let holed_spec (spec : Window_spec.t) =
    it forces the backend where eligible and leaves the cost model to pick
    elsewhere, so a whole workload (e.g. the CI fuzz leg) can run under one
    forced backend. *)
-let resolve_item ~evaluator ~env_force ~(model : Cost_model.constants) ~rows_avg ~nparts
+let resolve_item ~evaluator ~env_force ~sunk ~(model : Cost_model.constants) ~rows_avg ~nparts
     ~task_size ~fanout (spec : Window_spec.t) (item : Window_func.t) =
   let module Ec = Evaluator_choice in
   match Ec.classify item with
@@ -368,7 +263,7 @@ let resolve_item ~evaluator ~env_force ~(model : Cost_model.constants) ~rows_avg
                 | _ ->
                     let frame_rows, monotonic = Cost_model.estimate_frame spec ~rows:rows_avg in
                     let d =
-                      Cost_model.choose model
+                      Cost_model.choose ~sunk model
                         {
                           Cost_model.rows = rows_avg;
                           nparts;
@@ -397,7 +292,14 @@ let resolve_item ~evaluator ~env_force ~(model : Cost_model.constants) ~rows_avg
                                  (fun (nm, s) ->
                                    if nm = d.Cost_model.chosen then None else Some (fmt (nm, s)))
                                  d.Cost_model.scores) );
-                        ])
+                        ]
+                        @
+                        if sunk = [] then []
+                        else
+                          [
+                            ( "sunk",
+                              String.concat "," (List.map Ec.to_string sunk) );
+                          ])
                       (fun () -> ());
                     d.Cost_model.chosen))
       in
@@ -415,14 +317,23 @@ let order_permutation ?pool table ~over =
 
 let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
     ?(task_size = Task_pool.default_task_size) ?(width = Holistic_core.Mst_width.Auto) ?evaluator
-    table clauses =
+    ?session table clauses =
   let pool = match pool with Some p -> p | None -> Task_pool.default () in
   let env_force = parse_env_evaluator () in
   let n = Table.nrows table in
-  let counters = Build_cache.fresh_counters () in
+  (* a session only applies to queries over exactly its table — a plan over
+     any other table (e.g. a WHERE-filtered copy) runs stateless *)
+  let session =
+    match session with Some s when Session.table s == table -> Some s | _ -> None
+  in
+  let counters =
+    match session with Some s -> Session.counters s | None -> Build_cache.fresh_counters ()
+  in
+  let encode_builds0 = Build_cache.encode_build_count counters in
+  let tree_builds0 = Build_cache.tree_build_count counters in
   let n_stages = ref 0 and partition_passes = ref 0 in
   let full_sorts = ref 0 and partial_sorts = ref 0 and reused_sorts = ref 0 in
-  let comparator_sorts = ref 0 in
+  let session_sorts = ref 0 and comparator_sorts = ref 0 in
   (* output arrays up front, in clause/item appearance order *)
   let outputs =
     List.map
@@ -447,7 +358,10 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
           let pids =
             Obs.span "partition_ids"
               ~args:(fun () -> [ ("by", exprs_to_string pb) ])
-              (fun () -> partition_ids pool table pb)
+              (fun () ->
+                match session with
+                | Some s -> Session.pids_for s ~pb ~compute:(fun () -> partition_ids pool table pb)
+                | None -> partition_ids pool table pb)
           in
           incr partition_passes;
           Obs.Counter.incr c_partition_passes;
@@ -458,7 +372,12 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
               Obs.Counter.incr c_stages;
               reused_sorts := !reused_sorts + List.length smembers - 1;
               Obs.Counter.add c_reused_sorts (List.length smembers - 1);
-              let sort_kind = ref "" and sort_comp = ref false in
+              let sort_kind = ref "" and sort_comp = ref false and sort_cache = ref "" in
+              let session_hit =
+                match session with
+                | Some s -> Session.lookup s ~pb ~order
+                | None -> None
+              in
               let perm, boundaries =
                 Obs.span "sort"
                   ~args:(fun () ->
@@ -467,10 +386,23 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                       ("kind", !sort_kind);
                       ("path", if !sort_comp then "comparator" else "encoded");
                       ("rows", string_of_int n);
-                    ])
+                    ]
+                    @ if !sort_cache = "" then [] else [ ("cache", !sort_cache) ])
                   (fun () ->
                     let ((perm, boundaries) as result) =
-                      match !base with
+                      match session_hit with
+                    | Some (perm, b, _, prov, _) ->
+                        (* the store already holds this stage's permutation,
+                           maintained under every mutation since it was
+                           built — no sort at all *)
+                        incr session_sorts;
+                        Obs.Counter.incr c_session_sorts;
+                        sort_kind := "session";
+                        sort_cache := prov;
+                        if !base = None then base := Some (perm, b);
+                        (perm, b)
+                    | None ->
+                      (match !base with
                     | None ->
                         let perm, b, comp = full_sort pool table ~pids ~order in
                         incr full_sorts;
@@ -512,7 +444,7 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                           sort_kind := "partial";
                           sort_comp := comp;
                           (perm, bnds)
-                        end
+                        end)
                     in
                     (* sort-stage working set: the permutation plus the
                        partition boundary array this stage holds onto *)
@@ -521,20 +453,60 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                     result)
               in
               let nparts = Array.length boundaries - 1 in
+              (* the session-side state of this stage: per-partition caches
+                 and finished outputs (from the lookup, or registered fresh
+                 on a miss) plus the per-item backend memo *)
+              let sess_stage =
+                match session with
+                | None -> None
+                | Some s -> (
+                    match session_hit with
+                    | Some (_, _, parts, _, algs) -> Some (parts, algs)
+                    | None -> Some (Session.store s ~pb ~order ~perm ~boundaries))
+              in
+              let structures_cached =
+                match sess_stage with
+                | Some (parts, _) ->
+                    Array.exists
+                      (fun (p : Session.part) -> p.Session.status <> Session.Rebuilt)
+                      parts
+                | None -> false
+              in
               (* resolve every item of the stage to a concrete backend
                  before evaluation starts: one decision (and one
                  plan.evaluator.* bump) per (stage, item), shared by all
-                 partitions and morsels *)
+                 partitions and morsels.  Under a session, the backend the
+                 item resolved to last time has its structures cached, so
+                 its build cost is sunk for the cost model. *)
               let smembers =
                 List.map
                   (fun (c, outs) ->
                     ( c,
                       List.map
                         (fun ((item : Window_func.t), out) ->
-                          ( resolve_item ~evaluator ~env_force ~model:Cost_model.default
+                          let okey =
+                            (c.spec, item.Window_func.func, item.Window_func.filter)
+                          in
+                          let sunk =
+                            match sess_stage with
+                            | Some (_, algs) when structures_cached -> (
+                                match Hashtbl.find_opt algs okey with
+                                | Some nm -> [ nm ]
+                                | None -> [])
+                            | _ -> []
+                          in
+                          let ((item', _) as resolved) =
+                            resolve_item ~evaluator ~env_force ~sunk ~model:Cost_model.default
                               ~rows_avg:(if nparts = 0 then 0 else n / nparts)
-                              ~nparts ~task_size ~fanout c.spec item,
-                            out ))
+                              ~nparts ~task_size ~fanout c.spec item
+                          in
+                          (match
+                             ( sess_stage,
+                               Evaluator_choice.of_algorithm item'.Window_func.algorithm )
+                           with
+                          | Some (_, algs), Some nm -> Hashtbl.replace algs okey nm
+                          | _ -> ());
+                          (resolved, out))
                         outs ))
                   smembers
               in
@@ -547,11 +519,29 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                   let rows =
                     if plo = 0 && phi = n then perm else Array.sub perm plo (phi - plo)
                   in
-                  let cache = Build_cache.create ~counters () in
+                  let spart =
+                    match sess_stage with
+                    | Some (parts, _) -> Some parts.(p)
+                    | None -> None
+                  in
+                  let cache =
+                    match spart with
+                    | Some part -> part.Session.cache
+                    | None -> Build_cache.create ~counters ()
+                  in
+                  let item_args (item : Window_func.t) ev extra () =
+                    let base =
+                      [ ("name", item.name); ("func", Window_func.class_name item) ]
+                    in
+                    let base =
+                      match ev with None -> base | Some e -> base @ [ ("evaluator", e) ]
+                    in
+                    match extra with None -> base | Some kv -> base @ [ kv ]
+                  in
                   List.iter
                     (fun (c, outs) ->
                       let spec = c.spec in
-                      let frame =
+                      let compute_frame () =
                         Obs.span "frame"
                           ~args:(fun () ->
                             [ ("order", Sort_spec.to_string spec.Window_spec.order_by) ])
@@ -562,7 +552,7 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                             in
                             Frame.compute ~peers table ~spec ~rows)
                       in
-                      let ctx =
+                      let mk_ctx frame =
                         {
                           Evaluators.table;
                           pool;
@@ -576,19 +566,54 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                           cache;
                         }
                       in
-                      List.iter
-                        (fun (((item : Window_func.t), ev), out) ->
-                          Obs.span "item"
-                            ~args:(fun () ->
-                              let base =
-                                [ ("name", item.name); ("func", Window_func.class_name item) ]
+                      match spart with
+                      | None ->
+                          (* stateless path: identical span structure and
+                             evaluation order to the historical engine *)
+                          let ctx = mk_ctx (compute_frame ()) in
+                          List.iter
+                            (fun (((item : Window_func.t), ev), out) ->
+                              Obs.span "item" ~args:(item_args item ev None) (fun () ->
+                                  Evaluators.eval_item ctx item ~out))
+                            outs
+                      | Some part ->
+                          (* session path: an untouched partition serves an
+                             item straight from its cached output column —
+                             no frame, no structures, no probes; anything
+                             else evaluates (maintaining stale structures
+                             through the cache's callbacks) and deposits
+                             its output for the next query *)
+                          let len = Array.length rows in
+                          let frame = lazy (compute_frame ()) in
+                          List.iter
+                            (fun (((item : Window_func.t), ev), out) ->
+                              let okey =
+                                (spec, item.Window_func.func, item.Window_func.filter)
                               in
-                              match ev with
-                              | None -> base
-                              | Some e -> base @ [ ("evaluator", e) ])
-                            (fun () -> Evaluators.eval_item ctx item ~out))
-                        outs)
-                    smembers
+                              let hit =
+                                if part.Session.status = Session.Reused then
+                                  Hashtbl.find_opt part.Session.outputs okey
+                                else None
+                              in
+                              match hit with
+                              | Some vals ->
+                                  Obs.span "item"
+                                    ~args:(item_args item ev (Some ("cache", "reused(outputs)")))
+                                    (fun () ->
+                                      for r = 0 to len - 1 do
+                                        out.(rows.(r)) <- vals.(r)
+                                      done)
+                              | None ->
+                                  Obs.span "item" ~args:(item_args item ev None) (fun () ->
+                                      Evaluators.eval_item (mk_ctx (Lazy.force frame)) item
+                                        ~out);
+                                  Hashtbl.replace part.Session.outputs okey
+                                    (Array.init len (fun r -> out.(rows.(r)))))
+                            outs)
+                    smembers;
+                  match spart with
+                  | Some part -> part.Session.status <- Session.Reused
+                  | None -> ()
                 end
               in
               Obs.span "eval"
@@ -650,10 +675,11 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
       full_sorts = !full_sorts;
       partial_sorts = !partial_sorts;
       reused_sorts = !reused_sorts;
+      session_sorts = !session_sorts;
       comparator_sorts = !comparator_sorts;
-      encode_builds = Build_cache.encode_build_count counters;
-      tree_builds = Build_cache.tree_build_count counters;
+      encode_builds = Build_cache.encode_build_count counters - encode_builds0;
+      tree_builds = Build_cache.tree_build_count counters - tree_builds0;
     } )
 
-let run ?pool ?fanout ?sample ?task_size ?width ?evaluator table clauses =
-  fst (run_with_stats ?pool ?fanout ?sample ?task_size ?width ?evaluator table clauses)
+let run ?pool ?fanout ?sample ?task_size ?width ?evaluator ?session table clauses =
+  fst (run_with_stats ?pool ?fanout ?sample ?task_size ?width ?evaluator ?session table clauses)

@@ -46,6 +46,8 @@ type stats = {
   full_sorts : int;  (** from-scratch (partition, order) sorts *)
   partial_sorts : int;  (** within-boundary re-sorts *)
   reused_sorts : int;  (** clauses served by an existing stage sort *)
+  session_sorts : int;
+      (** stages served by a {!Session} store entry — no sort ran at all *)
   comparator_sorts : int;
       (** sorts (full or partial) that ran on the closure-comparator path
           because the key codec produced no words — should be zero for any
@@ -61,6 +63,7 @@ val run :
   ?task_size:int ->
   ?width:Holistic_core.Mst_width.choice ->
   ?evaluator:Evaluator_choice.name ->
+  ?session:Session.t ->
   Table.t ->
   clause list ->
   Table.t
@@ -77,7 +80,15 @@ val run :
     algorithms always win and keep their historical semantics.  Every
     resolution bumps the [plan.evaluator.<name>] counter once and is
     surfaced in EXPLAIN ANALYZE ([choose] spans with the rejected
-    candidates' predicted costs, and an [evaluator] arg on item spans). *)
+    candidates' predicted costs, and an [evaluator] arg on item spans).
+
+    [?session] plugs in a persistent structure store over exactly this
+    table (any other table — e.g. a WHERE-filtered copy — runs stateless):
+    stage sorts, per-partition caches and finished item outputs are read
+    from and written back to the store, and the cost model treats cached
+    structures' build cost as sunk.  Sort and item spans gain a [cache]
+    arg carrying the provenance ([reused(epoch=k)] / [maintained(±n
+    rows)] / [rebuilt(reason)] / [reused(outputs)]). *)
 
 val run_with_stats :
   ?pool:Holistic_parallel.Task_pool.t ->
@@ -86,6 +97,7 @@ val run_with_stats :
   ?task_size:int ->
   ?width:Holistic_core.Mst_width.choice ->
   ?evaluator:Evaluator_choice.name ->
+  ?session:Session.t ->
   Table.t ->
   clause list ->
   Table.t * stats

@@ -336,6 +336,23 @@ let test_name_round_trip () =
   Alcotest.(check bool) "ost alias" true (Ec.of_string "order-statistic" = Some Ec.Order_statistic);
   Alcotest.(check bool) "auto is not a backend" true (Ec.of_algorithm Wf.Auto = None)
 
+(* A cached structure's build cost is sunk (a session kept it across
+   queries): with a data-dependent frame (incremental drivers priced out)
+   at n = 262144 / frame 1200, a naive scan beats building an MST — the
+   gap is ~40 ms, far past the floor — but an already-built MST's probes
+   alone beat the scan. The same inputs flip. *)
+let test_sunk_flip () =
+  let i = inputs ~rows:262_144 ~frame_rows:1_200.0 ~monotonic:false () in
+  let cold = Cost.choose c i in
+  Alcotest.(check bool) "cold pick is naive" true (cold.Cost.chosen = Ec.Naive);
+  let warm = Cost.choose ~sunk:[ Ec.Mst ] c i in
+  Alcotest.(check bool) "sunk mst wins" true (warm.Cost.chosen = Ec.Mst);
+  Alcotest.(check bool) "sunk drops the build term" true
+    (Cost.cost ~sunk:[ Ec.Mst ] c i Ec.Mst < Cost.cost c i Ec.Mst);
+  Alcotest.(check (float 1e-6)) "non-sunk backends unchanged"
+    (Cost.cost c i Ec.Naive)
+    (Cost.cost ~sunk:[ Ec.Mst ] c i Ec.Naive)
+
 let () =
   Alcotest.run "cost"
     [
@@ -344,6 +361,7 @@ let () =
           Alcotest.test_case "cost is monotone in rows and frame" `Quick test_monotonic;
           Alcotest.test_case "decision floor and legacy defaults" `Quick test_floor_and_default;
           Alcotest.test_case "frame-shape estimation" `Quick test_estimate_frame;
+          Alcotest.test_case "sunk build cost flips the choice" `Quick test_sunk_flip;
           Alcotest.test_case "names round-trip" `Quick test_name_round_trip;
         ] );
       ( "crossover",

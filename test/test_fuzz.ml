@@ -53,8 +53,14 @@ let gen_table rng =
       ("g", Column.ints (ints 0 3));
       ("k", Column.make ?nulls:(gen_nulls rng n) (Column.Ints (ints (-3) 8)));
       ( "f",
+        (* dyadic halves keep SUM/AVG exact; the occasional NaN exercises
+           the sort paths' total order (NaN once diverged between the raw
+           float fast path and the comparator under DESC) *)
         Column.make ?nulls:(gen_nulls rng n)
-          (Column.Floats (Array.init n (fun _ -> float_of_int (Rng.int_in rng (-4) 7) /. 2.0))) );
+          (Column.Floats
+             (Array.init n (fun _ ->
+                  if Rng.int rng 14 = 0 then Float.nan
+                  else float_of_int (Rng.int_in rng (-4) 7) /. 2.0))) );
       ( "s",
         Column.make ?nulls:(gen_nulls rng n)
           (Column.Strings (Array.init n (fun _ -> pool.(Rng.int rng 5)))) );
