@@ -92,6 +92,34 @@ let print_check (c : Report.check) =
     gate
     (if c.Report.ok then "ok" else "FAIL")
 
+(* Counters that must stay strictly positive: when a committed baseline
+   carries one of these, the matching fresh counter must be > 0, or the
+   code path it proves exercised (disk spilling) has silently stopped
+   running. Tolerance-style gates cannot express "nonzero", hence the
+   explicit rule. *)
+let positive_counters = [ "sort.spill_bytes"; "sort.spill_runs" ]
+
+let counter_of report name =
+  match Report.member "counters" report with
+  | Some (Report.J_obj kvs) -> (
+      match List.assoc_opt name kvs with Some (Report.J_int v) -> Some v | _ -> None)
+  | _ -> None
+
+let check_positive_counters ~baseline ~fresh =
+  List.fold_left
+    (fun failures name ->
+      match counter_of baseline name with
+      | None -> failures
+      | Some _ -> (
+          let fresh_v = counter_of fresh name in
+          let ok = match fresh_v with Some v -> v > 0 | None -> false in
+          Printf.printf "  %-24s %14s %14s %12s  %s\n" name "(counter)"
+            (match fresh_v with Some v -> string_of_int v | None -> "MISSING")
+            "> 0"
+            (if ok then "ok" else "FAIL");
+          if ok then failures else failures + 1))
+    0 positive_counters
+
 let gate files =
   let failures = ref 0 in
   List.iter
@@ -114,7 +142,8 @@ let gate files =
          in
          let checks = Report.compare_reports ~baseline ~fresh in
          List.iter print_check checks;
-         failures := !failures + List.length (Report.violations checks));
+         failures := !failures + List.length (Report.violations checks);
+         failures := !failures + check_positive_counters ~baseline ~fresh);
       print_newline ())
     files;
   if !failures > 0 then (

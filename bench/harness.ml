@@ -44,6 +44,23 @@ let gc_settle () =
   Gc.full_major ();
   Gc.compact ()
 
+(* Private scratch directory for experiments that spill to disk, created
+   lazily and removed (with anything left inside) when the process exits.
+   Experiments should still clean up after themselves; the at_exit sweep
+   only catches what a failure path left behind. *)
+let scratch =
+  lazy
+    (let dir = Filename.temp_dir "holiwin_bench" "" in
+     at_exit (fun () ->
+         (try
+            Array.iter (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+              (Sys.readdir dir)
+          with Sys_error _ -> ());
+         try Sys.rmdir dir with Sys_error _ -> ());
+     dir)
+
+let scratch_dir () = Lazy.force scratch
+
 (* Sweep one algorithm across parameter points, stopping once a point
    exceeds the budget. The heap is settled before each point so one point's
    garbage is not billed to the next. *)

@@ -134,6 +134,7 @@ let run ?pool ?(fanout = 32) ?(sample = 32) ?(task_size = Task_pool.default_task
               task_size;
               width;
               cache = Build_cache.create ?counters ();
+              gov = None;
             }
           in
           Evaluators.eval_item ctx item ~out)

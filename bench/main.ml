@@ -25,6 +25,7 @@ type sizes = {
   calibrate_rows : int;
   evaluator_rows : int;
   incremental_rows : int;
+  spill_rows : int;
 }
 
 let sizes ~scale ~quick =
@@ -45,6 +46,7 @@ let sizes ~scale ~quick =
     calibrate_rows = f 262_144;
     evaluator_rows = f 400_000;
     incremental_rows = f 400_000;
+    spill_rows = f 4_000_000 (* 10x multiwindow: the out-of-core regime *);
   }
 
 let experiments s =
@@ -71,6 +73,7 @@ let experiments s =
     ("calibrate", fun () -> Calibrate.run ~rows:s.calibrate_rows ());
     ("evaluator-choice", fun () -> Evaluator_choice.run ~rows:s.evaluator_rows ());
     ("incremental", fun () -> Incremental.run ~rows:s.incremental_rows ());
+    ("spill", fun () -> Spill.run ~rows:s.spill_rows ());
     ("micro", Micro.run);
   ]
 

@@ -10,6 +10,18 @@
 open Holistic_storage
 module Wf = Holistic_window.Window_func
 module Ec = Holistic_window.Evaluator_choice
+module Mg = Holistic_window.Mem_governor
+
+(* --mem-limit: bytes with optional K/M/G suffix, or "spill" (spill every
+   sort regardless of budget — a testing mode). The governor is created
+   here so its spill directory can be cleaned up whatever happens. *)
+let with_governor mem_limit f =
+  match mem_limit with
+  | None -> f None
+  | Some spec ->
+      let budget, policy = Mg.parse_limit spec in
+      let g = Mg.create ?budget ~policy () in
+      Fun.protect ~finally:(fun () -> Mg.cleanup g) (fun () -> f (Some g))
 
 let algorithms =
   [
@@ -107,14 +119,24 @@ let query_cmd =
                  ($(b,--algorithm) wins); unsupported (function, backend) \
                  pairs are rejected with an error.")
   in
+  let mem_limit =
+    Arg.(value & opt (some string) None & info [ "mem-limit" ] ~docv:"BYTES"
+           ~doc:"Bound the window operator's working set: sorts spill to disk \
+                 runs and index builds stream when the budget would overflow, \
+                 with bit-identical results. Accepts bytes with an optional \
+                 K/M/G suffix (e.g. 64M), or $(b,spill) to force every sort \
+                 out of core. $(b,HOLIWIN_MEM_LIMIT) is the same knob as an \
+                 environment variable.")
+  in
   let timing = Arg.(value & flag & info [ "time" ] ~doc:"Print execution time.") in
   let max_rows = Arg.(value & opt int 40 & info [ "max-rows" ] ~doc:"Rows to display.") in
   let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Write full result as CSV.") in
-  let run sql table_specs algorithm evaluator timing max_rows output =
+  let run sql table_specs algorithm evaluator mem_limit timing max_rows output =
     try
       let tables = List.map load_table table_specs in
+      with_governor mem_limit @@ fun governor ->
       let t0 = Unix.gettimeofday () in
-      let result = Holistic_sql.Sql.query ?algorithm ?evaluator ~tables sql in
+      let result = Holistic_sql.Sql.query ?algorithm ?evaluator ?governor ~tables sql in
       let dt = Unix.gettimeofday () -. t0 in
       (match output with
       | Some path -> Csv.save path result
@@ -130,13 +152,13 @@ let query_cmd =
     | Holistic_sql.Sql.Semantic_error msg ->
         Printf.eprintf "error: %s\n" msg;
         1
-    | Failure msg | Invalid_argument msg ->
+    | Mg.Budget_too_small msg | Failure msg | Invalid_argument msg ->
         Printf.eprintf "error: %s\n" msg;
         1
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a SQL query with extended window functions")
-    Term.(const run $ sql $ tables $ algorithm $ evaluator $ timing $ max_rows $ output)
+    Term.(const run $ sql $ tables $ algorithm $ evaluator $ mem_limit $ timing $ max_rows $ output)
 
 (* --- explain ---------------------------------------------------------- *)
 
@@ -162,11 +184,20 @@ let explain_cmd =
                  (strict: unsupported pairs are an error); the executed \
                  choice shows up in the span tree's choose/item lines.")
   in
-  let run sql table_specs analyze trace_out evaluator =
+  let mem_limit =
+    Arg.(value & opt (some string) None & info [ "mem-limit" ] ~docv:"BYTES"
+           ~doc:"With --analyze, bound the working set as in $(b,query) \
+                 --mem-limit; spills show up as spilled=(runs=n, bytes) on \
+                 the sort spans and the sort.spill_* counters.")
+  in
+  let run sql table_specs analyze trace_out evaluator mem_limit =
     try
       if analyze then begin
         let tables = List.map load_table table_specs in
-        let result, trace = Holistic_sql.Sql.explain_analyze_trace ?evaluator ~tables sql in
+        with_governor mem_limit @@ fun governor ->
+        let result, trace =
+          Holistic_sql.Sql.explain_analyze_trace ?evaluator ?governor ~tables sql
+        in
         print_string (Holistic_sql.Sql.explain sql);
         Printf.printf "rows: %d (%s)\n" (Table.nrows result)
           (Holistic_obs.Obs.human_bytes (Table.footprint_bytes result));
@@ -182,13 +213,13 @@ let explain_cmd =
     | Holistic_sql.Sql.Semantic_error msg ->
         Printf.eprintf "error: %s\n" msg;
         1
-    | Failure msg | Invalid_argument msg ->
+    | Mg.Budget_too_small msg | Failure msg | Invalid_argument msg ->
         Printf.eprintf "error: %s\n" msg;
         1
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show a query's structure; --analyze executes it with tracing")
-    Term.(const run $ sql $ tables $ analyze $ trace_out $ evaluator)
+    Term.(const run $ sql $ tables $ analyze $ trace_out $ evaluator $ mem_limit)
 
 (* --- session ---------------------------------------------------------- *)
 

@@ -9,6 +9,7 @@ module T = Mst_template.Make (Mst_storage.Int63)
 type t = T.t
 
 let create = T.create
+let create_stream = T.create_stream
 let append = T.append
 let length = T.length
 let fanout = T.fanout

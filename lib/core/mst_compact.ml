@@ -9,6 +9,7 @@ module T = Mst_template.Make (Mst_storage.Int32s)
 type t = T.t
 
 let create = T.create
+let create_stream = T.create_stream
 
 let of_mst mst =
   let ir = Mst.internals mst in

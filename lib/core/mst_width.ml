@@ -50,6 +50,14 @@ let create ?pool ?fanout ?sample ?(choice = Auto) a =
   | W32 -> T32 (Mst_compact.create ?pool ?fanout ?sample a)
   | W64 -> T64 (Mst.create ?pool ?fanout ?sample a)
 
+let create_stream ?fanout ?sample ?(choice = Auto) ~n ~min_value ~max_value ~fill () =
+  let fit = width_for ~n ~min_value ~max_value in
+  let w = match choice with Auto -> fit | Force w -> widen w fit in
+  match w with
+  | W16 -> T16 (Mst16.create_stream ?fanout ?sample ~n ~fill ())
+  | W32 -> T32 (Mst_compact.create_stream ?fanout ?sample ~n ~fill ())
+  | W64 -> T64 (Mst.create_stream ?fanout ?sample ~n ~fill ())
+
 let width = function T16 _ -> W16 | T32 _ -> W32 | T64 _ -> W64
 
 (* Incremental append: maintain [t] for the grown operand [a] when the

@@ -316,6 +316,230 @@ let merge_multiword ~mw ~runs ~dst_key0 ~dst_payload ~dst_pos =
     Obs.Counter.add_always ovc_scanned_count !scanned
   end
 
+(* ------------------------------------------------------------------ *)
+(* Run sources: buffered streams of interleaved entries                *)
+(* ------------------------------------------------------------------ *)
+
+(* A source yields one sorted run as interleaved entries of [nwords] key
+   words followed by the payload row id (stride [nwords + 1]), refilled
+   on demand. In-memory segments and on-disk run files present the same
+   face, so the OVC loser tree below merges them identically. *)
+type source = {
+  s_nwords : int;
+  s_buf : int array;
+  mutable s_len : int; (* entries currently buffered *)
+  mutable s_cur : int; (* current entry index, < s_len when alive *)
+  s_prev : int array; (* key words of the entry emitted just before s_buf.(0) *)
+  s_refill : int array -> int;
+  s_close : unit -> unit;
+}
+
+let make_source ~nwords ~buf_entries ~refill ~close =
+  if nwords < 1 then invalid_arg "Multiway.make_source: nwords must be >= 1";
+  let buf_entries = max 1 buf_entries in
+  let s =
+    {
+      s_nwords = nwords;
+      s_buf = Array.make (buf_entries * (nwords + 1)) 0;
+      s_len = 0;
+      s_cur = 0;
+      s_prev = Array.make nwords 0;
+      s_refill = refill;
+      s_close = close;
+    }
+  in
+  s.s_len <- refill s.s_buf;
+  s
+
+let source_close s = s.s_close ()
+
+let source_of_run ~mw { lo; hi } =
+  let nd = Array.length mw.deep in
+  let nwords = 1 + nd in
+  let stride = nwords + 1 in
+  let pos = ref lo in
+  let refill buf =
+    let cap = Array.length buf / stride in
+    let m = min cap (hi - !pos) in
+    for e = 0 to m - 1 do
+      let p = !pos + e in
+      let base = e * stride in
+      buf.(base) <- mw.key0.(p);
+      let rid = mw.payload.(p) in
+      for w = 0 to nd - 1 do
+        buf.(base + 1 + w) <- mw.deep.(w).(rid)
+      done;
+      buf.(base + nwords) <- rid
+    done;
+    pos := !pos + m;
+    m
+  in
+  make_source ~nwords ~buf_entries:256 ~refill ~close:(fun () -> ())
+
+(* The same tree-of-losers OVC merge as [merge_multiword], over buffered
+   sources instead of array segments. The only structural difference is
+   the run-predecessor access for a new entrant's code: within a buffer
+   it is the previous slot; across a refill boundary it is the key words
+   saved in [s_prev] before the refill. *)
+let merge_sources ~sources ?tie ~emit () =
+  let nruns = Array.length sources in
+  if nruns > 0 then begin
+    let nwords = sources.(0).s_nwords in
+    Array.iter
+      (fun s -> if s.s_nwords <> nwords then invalid_arg "Multiway.merge_sources: mixed word counts")
+      sources;
+    let stride = nwords + 1 in
+    let residual r1 r2 =
+      match tie with
+      | Some t ->
+          let c = t r1 r2 in
+          if c <> 0 then c else Int.compare r1 r2
+      | None -> Int.compare r1 r2
+    in
+    let word s w = s.s_buf.((s.s_cur * stride) + w) in
+    let payload s = s.s_buf.((s.s_cur * stride) + nwords) in
+    let prev_word s w = if s.s_cur > 0 then s.s_buf.(((s.s_cur - 1) * stride) + w) else s.s_prev.(w) in
+    let advance s =
+      let c = s.s_cur + 1 in
+      if c < s.s_len then begin
+        s.s_cur <- c;
+        true
+      end
+      else begin
+        let base = s.s_cur * stride in
+        for w = 0 to nwords - 1 do
+          s.s_prev.(w) <- s.s_buf.(base + w)
+        done;
+        s.s_len <- s.s_refill s.s_buf;
+        s.s_cur <- 0;
+        s.s_len > 0
+      end
+    in
+    if nruns = 1 then begin
+      let s = sources.(0) in
+      if s.s_len > 0 then begin
+        let continue = ref true in
+        while !continue do
+          emit (word s 0) (payload s);
+          continue := advance s
+        done
+      end
+    end
+    else begin
+      let kk = ref 1 in
+      while !kk < nruns do kk := !kk * 2 done;
+      let kk = !kk in
+      let alive = Array.make kk false in
+      let off = Array.make kk 0 in
+      let ovc_v = Array.make kk 0 in
+      let total_alive = ref 0 in
+      for r = 0 to nruns - 1 do
+        let s = sources.(r) in
+        if s.s_len > 0 then begin
+          alive.(r) <- true;
+          incr total_alive;
+          off.(r) <- 0;
+          ovc_v.(r) <- word s 0
+        end
+      done;
+      let decided = ref 0 and scanned = ref 0 in
+      let beats a b =
+        if not alive.(b) then true
+        else if not alive.(a) then false
+        else begin
+          let oa = off.(a) and ob = off.(b) in
+          if oa <> ob then begin
+            incr decided;
+            oa > ob
+          end
+          else if ovc_v.(a) <> ovc_v.(b) then begin
+            incr decided;
+            ovc_v.(a) < ovc_v.(b)
+          end
+          else begin
+            incr scanned;
+            let sa = sources.(a) and sb = sources.(b) in
+            let w = ref (oa + 1) in
+            while !w < nwords && word sa !w = word sb !w do incr w done;
+            if !w < nwords then begin
+              let wa = word sa !w and wb = word sb !w in
+              if wa < wb then begin
+                off.(b) <- !w;
+                ovc_v.(b) <- wb;
+                true
+              end
+              else begin
+                off.(a) <- !w;
+                ovc_v.(a) <- wa;
+                false
+              end
+            end
+            else if residual (payload sa) (payload sb) < 0 then begin
+              off.(b) <- nwords;
+              ovc_v.(b) <- 0;
+              true
+            end
+            else begin
+              off.(a) <- nwords;
+              ovc_v.(a) <- 0;
+              false
+            end
+          end
+        end
+      in
+      let node = Array.make kk (-1) in
+      let rec build i =
+        if i >= kk then i - kk
+        else begin
+          let wl = build (2 * i) and wr = build ((2 * i) + 1) in
+          if beats wl wr then begin
+            node.(i) <- wr;
+            wl
+          end
+          else begin
+            node.(i) <- wl;
+            wr
+          end
+        end
+      in
+      let winner = ref (build 1) in
+      while !total_alive > 0 do
+        let wl = !winner in
+        let s = sources.(wl) in
+        emit (word s 0) (payload s);
+        if advance s then begin
+          let ww = ref 0 in
+          while !ww < nwords && word s !ww = prev_word s !ww do incr ww done;
+          if !ww < nwords then begin
+            off.(wl) <- !ww;
+            ovc_v.(wl) <- word s !ww
+          end
+          else begin
+            off.(wl) <- nwords;
+            ovc_v.(wl) <- 0
+          end
+        end
+        else begin
+          alive.(wl) <- false;
+          decr total_alive
+        end;
+        let cur = ref wl in
+        let i = ref ((kk + wl) lsr 1) in
+        while !i >= 1 do
+          let l = node.(!i) in
+          if beats l !cur then begin
+            node.(!i) <- !cur;
+            cur := l
+          end;
+          i := !i lsr 1
+        done;
+        winner := !cur
+      done;
+      Obs.Counter.add_always ovc_decided_count !decided;
+      Obs.Counter.add_always ovc_scanned_count !scanned
+    end
+  end
+
 let lower_bound_by ~less ~lo ~hi pivot =
   let lo = ref lo and hi = ref hi in
   while !lo < !hi do

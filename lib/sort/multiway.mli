@@ -77,6 +77,38 @@ val ovc_stats : unit -> int * int
 
 val reset_ovc_stats : unit -> unit
 
+(** {2 Run sources: merging in-memory and on-disk runs identically} *)
+
+type source
+(** A buffered stream over one sorted run of interleaved entries —
+    [nwords] key words then the payload row id, stride [nwords + 1].
+    Backed either by an in-memory segment ({!source_of_run}) or by any
+    refill function, e.g. a spilled {!Holistic_storage.Run_file}
+    reader. *)
+
+val make_source :
+  nwords:int -> buf_entries:int -> refill:(int array -> int) -> close:(unit -> unit) -> source
+(** [refill buf] fills [buf] with as many whole entries as fit and
+    returns the entry count; [0] means the run is exhausted (it is not
+    called again after that). [nwords >= 1]. The first refill happens
+    eagerly, inside [make_source]. *)
+
+val source_close : source -> unit
+
+val source_of_run : mw:multiword -> run -> source
+(** A source over a sorted segment of [mw] (gathering [deep] words per
+    entry), for merging memory-resident runs alongside spilled ones. *)
+
+val merge_sources :
+  sources:source array -> ?tie:(int -> int -> int) -> emit:(int -> int -> unit) -> unit -> unit
+(** Merges the sources (each sorted by: key words in order, then [tie],
+    then ascending row id — the {!compare_positions} order) with the
+    same offset-value coded tree of losers as {!merge_multiword},
+    calling [emit key0 payload] once per entry in globally sorted order.
+    All sources must share one word count. Updates the same
+    [sort.ovc_decided] / [sort.ovc_scanned] counters. Does {e not}
+    close the sources. *)
+
 val lower_bound_by : less:(int -> int -> bool) -> lo:int -> hi:int -> int -> int
 (** [lower_bound_by ~less ~lo ~hi p] is the first position [q] in
     [\[lo, hi)] with [not (less q p)], for a segment sorted by the strict

@@ -51,5 +51,40 @@ val sort_encoded :
     word, no residual uses the existing lexicographic run/merge path;
     anything wider goes through {!sort_multiword}. *)
 
+val sort_encoded_spill :
+  n:int ->
+  words:int array array ->
+  ?tie:(int -> int -> int) ->
+  run_rows:int ->
+  read_entries:int ->
+  dir:string ->
+  ?on_key0:(int -> int -> unit) ->
+  ?after_runs:(unit -> unit) ->
+  unit ->
+  int array * int * int
+(** External-memory variant of {!sort_encoded}: forms sorted runs of
+    [run_rows] rows sequentially (bounding the transient working set),
+    writes each as a checksummed {!Holistic_storage.Run_file} of full
+    key words + row id under [dir], then streams all runs through the
+    offset-value coded loser-tree merge ({!Multiway.merge_sources}) with
+    [read_entries]-entry read buffers per run. Returns
+    [(perm, spill_runs, spill_bytes)] — the same permutation
+    {!sort_encoded} would produce (the order is a strict total order, so
+    any correct merge yields the identical result), plus the run count
+    and total bytes written.
+
+    [on_key0 rank key0] is called once per output row in rank order with
+    the row's leading key word, letting callers detect partition
+    boundaries without materialising the sorted key column.
+    [after_runs] fires once formation is complete and before the merge
+    allocates its output — the point where [words] may be dropped and
+    its memory charge released, since the key words now live on disk.
+
+    All spill files are deleted on return, on success and on failure
+    alike; IO failures surface as {!Holistic_storage.Run_file.Error}.
+    Updates the always-on counters [sort.spill_bytes] /
+    [sort.spill_runs] and tags its [sort.runs] / [sort.merge] spans with
+    [spilled(runs=…, bytes)] provenance. *)
+
 val sort : Task_pool.t -> int array -> unit
 (** Parallel ascending sort of a plain int array. *)

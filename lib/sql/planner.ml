@@ -260,7 +260,8 @@ let lower_call table (c : Ast.window_call) : Wf.func =
 (* Query execution                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session ~tables (q : Ast.query) =
+let run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor ?mem_limit ?session
+    ~tables (q : Ast.query) =
   let table =
     match List.assoc_opt q.Ast.from tables with
     | Some t -> t
@@ -356,7 +357,8 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session ~tables 
          clause materialises a filtered copy, so filtered queries fall
          through to the stateless path untouched. *)
       Obs.span "sql.window" (fun () ->
-          Window_plan.run ?pool ?fanout ?sample ?task_size ?evaluator ?session table clauses)
+          Window_plan.run ?pool ?fanout ?sample ?task_size ?evaluator ?governor ?mem_limit
+            ?session table clauses)
   in
   (* projection: base columns for window outputs, fresh columns for exprs *)
   let out_columns =

@@ -3,11 +3,14 @@ exception Semantic_error of string
 
 module Session = Holistic_window.Session
 
-let query ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session ~tables src =
+let query ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor ?mem_limit ?session
+    ~tables src =
   let ast =
     try Parser.parse src with Parser.Error (msg, off) -> raise (Parse_error (msg, off))
   in
-  try Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session ~tables ast
+  try
+    Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor ?mem_limit
+      ?session ~tables ast
   with Planner.Error msg -> raise (Semantic_error msg)
 
 (* ------------------------------------------------------------------ *)
@@ -189,7 +192,8 @@ let explain src = explain_ast (Parser.parse src)
    description. Everything time-valued prints as "%.3f ms" so tests can
    mask it; structure, row counts and counters are deterministic for a
    given pool size. *)
-let explain_analyze ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session ~tables src =
+let explain_analyze ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor ?mem_limit
+    ?session ~tables src =
   let ast =
     try Parser.parse src with Parser.Error (msg, off) -> raise (Parse_error (msg, off))
   in
@@ -197,8 +201,8 @@ let explain_analyze ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?sess
     Holistic_obs.Obs.with_capture (fun () ->
         Holistic_obs.Obs.span "sql.query" (fun () ->
             try
-              Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session
-                ~tables ast
+              Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor
+                ?mem_limit ?session ~tables ast
             with Planner.Error msg -> raise (Semantic_error msg)))
   in
   let b = Buffer.create 1024 in
@@ -209,16 +213,16 @@ let explain_analyze ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?sess
   Buffer.add_string b (Holistic_obs.Obs.render trace);
   (result, Buffer.contents b)
 
-let explain_analyze_trace ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session ~tables
-    src =
+let explain_analyze_trace ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor
+    ?mem_limit ?session ~tables src =
   let ast =
     try Parser.parse src with Parser.Error (msg, off) -> raise (Parse_error (msg, off))
   in
   Holistic_obs.Obs.with_capture (fun () ->
       Holistic_obs.Obs.span "sql.query" (fun () ->
           try
-            Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?session ~tables
-              ast
+            Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor
+              ?mem_limit ?session ~tables ast
           with Planner.Error msg -> raise (Semantic_error msg)))
 
 let session_explain_analyze ?fanout ?sample ?task_size ?algorithm ?evaluator ?(name = "t")

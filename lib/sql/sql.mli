@@ -29,13 +29,19 @@ val query :
   ?task_size:int ->
   ?algorithm:Holistic_window.Window_func.algorithm ->
   ?evaluator:Holistic_window.Evaluator_choice.name ->
+  ?governor:Holistic_window.Mem_governor.t ->
+  ?mem_limit:int ->
   ?session:Session.t ->
   tables:(string * Table.t) list ->
   string ->
   Table.t
 (** Parses and executes one SELECT statement against the named tables.
     [evaluator] forces every [Auto] window item onto one backend (strict;
-    see {!Holistic_window.Window_plan.run}); [session] is a persistent
+    see {!Holistic_window.Window_plan.run}); [governor]/[mem_limit] bound
+    the window stage's working set — sorts spill to disk runs and index
+    builds stream under pressure, with bit-identical results (the CLI's
+    --mem-limit flag and the [HOLIWIN_MEM_LIMIT] environment variable; see
+    {!Holistic_window.Mem_governor}); [session] is a persistent
     structure store consulted and refilled when the FROM table is the
     session's table and no WHERE clause filters it. *)
 
@@ -105,6 +111,8 @@ val explain_analyze :
   ?task_size:int ->
   ?algorithm:Holistic_window.Window_func.algorithm ->
   ?evaluator:Holistic_window.Evaluator_choice.name ->
+  ?governor:Holistic_window.Mem_governor.t ->
+  ?mem_limit:int ->
   ?session:Session.t ->
   tables:(string * Table.t) list ->
   string ->
@@ -125,6 +133,8 @@ val explain_analyze_trace :
   ?task_size:int ->
   ?algorithm:Holistic_window.Window_func.algorithm ->
   ?evaluator:Holistic_window.Evaluator_choice.name ->
+  ?governor:Holistic_window.Mem_governor.t ->
+  ?mem_limit:int ->
   ?session:Session.t ->
   tables:(string * Table.t) list ->
   string ->

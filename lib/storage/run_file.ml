@@ -1,0 +1,211 @@
+(* Binary run files for the external merge sort: fixed-stride entries of
+   [nwords] key words plus one payload row id, little-endian int64, behind
+   a checksummed 32-byte header. IO is buffered and strictly sequential in
+   both directions; every failure mode (OS error, truncation, corruption)
+   is normalized to [Error] so callers see one clean exception. *)
+
+exception Error of string
+
+let err path fmt =
+  Printf.ksprintf (fun m -> raise (Error (Printf.sprintf "run file %s: %s" path m))) fmt
+
+let magic = "HWRUN1\x00\x00"
+let header_bytes = 32
+let buf_bytes = 65536
+
+(* Rolling checksum over every stored word (keys and payloads alike), in
+   write order. Plain int arithmetic: wraps deterministically. *)
+let mix h w = (h * 31) + w
+
+module Fault = struct
+  let enospc_countdown = ref (-1)
+  let short_next = ref false
+  let flip_next = ref false
+  let enospc_after n = enospc_countdown := n
+  let short_write () = short_next := true
+  let flip_checksum () = flip_next := true
+
+  let reset () =
+    enospc_countdown := -1;
+    short_next := false;
+    flip_next := false
+end
+
+type writer = {
+  w_path : string;
+  oc : out_channel;
+  w_nwords : int;
+  wbuf : Bytes.t;
+  mutable pos : int; (* valid bytes in [wbuf] *)
+  mutable w_entries : int;
+  mutable sum : int;
+  mutable w_closed : bool;
+}
+
+type t = { path : string; entries : int; nwords : int }
+
+let path t = t.path
+let entries t = t.entries
+let nwords t = t.nwords
+let bytes t = header_bytes + (t.entries * (t.nwords + 1) * 8)
+
+let flush_buf w =
+  if w.pos > 0 then begin
+    if !Fault.enospc_countdown >= 0 then
+      if !Fault.enospc_countdown = 0 then begin
+        Fault.enospc_countdown := -1;
+        err w.w_path "write failed: No space left on device"
+      end
+      else decr Fault.enospc_countdown;
+    let len =
+      if !Fault.short_next then begin
+        Fault.short_next := false;
+        w.pos / 2
+      end
+      else w.pos
+    in
+    (try output w.oc w.wbuf 0 len with Sys_error m -> err w.w_path "write failed: %s" m);
+    w.pos <- 0
+  end
+
+let create ~dir ~nwords =
+  if nwords < 1 then invalid_arg "Run_file.create: nwords must be >= 1";
+  let path =
+    try Filename.temp_file ~temp_dir:dir "hwrun" ".run"
+    with Sys_error m -> raise (Error (Printf.sprintf "run file in %s: create failed: %s" dir m))
+  in
+  let oc =
+    try open_out_gen [ Open_wronly; Open_binary; Open_trunc ] 0o600 path
+    with Sys_error m -> err path "open failed: %s" m
+  in
+  let hb = Bytes.create header_bytes in
+  Bytes.blit_string magic 0 hb 0 8;
+  Bytes.set_int64_le hb 8 (Int64.of_int nwords);
+  Bytes.set_int64_le hb 16 0L;
+  Bytes.set_int64_le hb 24 0L;
+  (try output_bytes oc hb with Sys_error m -> err path "write failed: %s" m);
+  {
+    w_path = path;
+    oc;
+    w_nwords = nwords;
+    wbuf = Bytes.create buf_bytes;
+    pos = 0;
+    w_entries = 0;
+    sum = 0;
+    w_closed = false;
+  }
+
+let append w ~key ~koff ~payload =
+  let stride8 = (w.w_nwords + 1) * 8 in
+  if w.pos + stride8 > buf_bytes then flush_buf w;
+  let p = ref w.pos in
+  for i = 0 to w.w_nwords - 1 do
+    let word = key.(koff + i) in
+    Bytes.set_int64_le w.wbuf !p (Int64.of_int word);
+    w.sum <- mix w.sum word;
+    p := !p + 8
+  done;
+  Bytes.set_int64_le w.wbuf !p (Int64.of_int payload);
+  w.sum <- mix w.sum payload;
+  w.pos <- w.pos + stride8;
+  w.w_entries <- w.w_entries + 1
+
+let abort w =
+  w.w_closed <- true;
+  close_out_noerr w.oc;
+  try Sys.remove w.w_path with _ -> ()
+
+let finish w =
+  if w.w_closed then invalid_arg "Run_file.finish: writer already closed";
+  flush_buf w;
+  let sum =
+    if !Fault.flip_next then begin
+      Fault.flip_next := false;
+      lnot w.sum
+    end
+    else w.sum
+  in
+  (try
+     seek_out w.oc 16;
+     let hb = Bytes.create 16 in
+     Bytes.set_int64_le hb 0 (Int64.of_int w.w_entries);
+     Bytes.set_int64_le hb 8 (Int64.of_int sum);
+     output_bytes w.oc hb;
+     close_out w.oc
+   with Sys_error m -> err w.w_path "finish failed: %s" m);
+  w.w_closed <- true;
+  { path = w.w_path; entries = w.w_entries; nwords = w.w_nwords }
+
+type reader = {
+  r : t;
+  ic : in_channel;
+  rbuf : Bytes.t;
+  expect_sum : int;
+  mutable remaining : int;
+  mutable rsum : int;
+  mutable verified : bool;
+}
+
+let read_header t ic =
+  let hb = Bytes.create header_bytes in
+  (try really_input ic hb 0 header_bytes with
+  | End_of_file -> err t.path "truncated header"
+  | Sys_error m -> err t.path "read failed: %s" m);
+  if Bytes.sub_string hb 0 8 <> magic then err t.path "bad magic";
+  let h_nwords = Int64.to_int (Bytes.get_int64_le hb 8) in
+  let h_entries = Int64.to_int (Bytes.get_int64_le hb 16) in
+  if h_nwords <> t.nwords then err t.path "word count mismatch (header %d, expected %d)" h_nwords t.nwords;
+  if h_entries <> t.entries then
+    err t.path "entry count mismatch (header %d, expected %d)" h_entries t.entries;
+  Int64.to_int (Bytes.get_int64_le hb 24)
+
+let open_reader t =
+  let ic =
+    try open_in_bin t.path with Sys_error m -> err t.path "open failed: %s" m
+  in
+  let ok = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !ok then close_in_noerr ic)
+    (fun () ->
+      let actual = in_channel_length ic in
+      if actual <> bytes t then err t.path "truncated (expected %d bytes, found %d)" (bytes t) actual;
+      let expect_sum = read_header t ic in
+      ok := true;
+      { r = t; ic; rbuf = Bytes.create buf_bytes; expect_sum; remaining = t.entries; rsum = 0; verified = false })
+
+let read r ~buf =
+  let stride = r.r.nwords + 1 in
+  let stride8 = stride * 8 in
+  if r.remaining = 0 then begin
+    if not r.verified then begin
+      r.verified <- true;
+      if r.rsum <> r.expect_sum then err r.r.path "checksum mismatch"
+    end;
+    0
+  end
+  else begin
+    let capacity = Array.length buf / stride in
+    if capacity = 0 then invalid_arg "Run_file.read: buffer smaller than one entry";
+    let want = min r.remaining capacity in
+    let per_chunk = max 1 (buf_bytes / stride8) in
+    let filled = ref 0 in
+    while !filled < want do
+      let chunk = min per_chunk (want - !filled) in
+      (try really_input r.ic r.rbuf 0 (chunk * stride8) with
+      | End_of_file -> err r.r.path "unexpected end of file"
+      | Sys_error m -> err r.r.path "read failed: %s" m);
+      let base = !filled * stride in
+      for e = 0 to (chunk * stride) - 1 do
+        let word = Int64.to_int (Bytes.get_int64_le r.rbuf (e * 8)) in
+        buf.(base + e) <- word;
+        r.rsum <- mix r.rsum word
+      done;
+      filled := !filled + chunk
+    done;
+    r.remaining <- r.remaining - want;
+    want
+  end
+
+let close_reader r = close_in_noerr r.ic
+
+let remove t = try Sys.remove t.path with _ -> ()

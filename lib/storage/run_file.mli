@@ -1,0 +1,81 @@
+(** Binary files of sorted run entries for the external merge sort.
+
+    A run file holds a sequence of fixed-stride entries, each [nwords]
+    key words followed by one payload row id, all little-endian int64.
+    Writes are buffered and strictly sequential; the 32-byte header
+    carries a magic, the word count, the entry count, and a rolling
+    checksum over every stored word, patched in on [finish].
+
+    The reader validates the magic, the expected word count, the file
+    size implied by the header (catching silent short writes), and the
+    checksum once the last entry has been handed out. Any violation —
+    and any OS-level IO failure — surfaces as {!Error}; no partial
+    results escape. *)
+
+exception Error of string
+(** Raised on malformed files, checksum mismatches, short writes and
+    any underlying [Unix]/[Sys] IO failure. The message names the file. *)
+
+type writer
+type t
+type reader
+
+(** {2 Writing} *)
+
+val create : dir:string -> nwords:int -> writer
+(** Starts a fresh run file in [dir] (a private temp name inside it).
+    [nwords >= 1] is the number of key words per entry. *)
+
+val append : writer -> key:int array -> koff:int -> payload:int -> unit
+(** Appends one entry: [nwords] words read from [key] at [koff], then
+    [payload]. *)
+
+val finish : writer -> t
+(** Flushes, patches the header (entry count + checksum), closes the
+    descriptor and returns a handle for reading. *)
+
+val abort : writer -> unit
+(** Closes and deletes a partially-written run file. Never raises. *)
+
+(** {2 Reading} *)
+
+val path : t -> string
+val entries : t -> int
+val nwords : t -> int
+
+val bytes : t -> int
+(** Total file size in bytes, header included. *)
+
+val open_reader : t -> reader
+
+val read : reader -> buf:int array -> int
+(** Fills [buf] with as many whole entries as fit (stride
+    [nwords + 1]: words then payload, interleaved) and returns how many
+    entries were read; [0] means end-of-file, at which point the
+    checksum has been verified. *)
+
+val close_reader : reader -> unit
+(** Never raises. *)
+
+val remove : t -> unit
+(** Deletes the file. Never raises. *)
+
+(** {2 Fault injection (tests only)}
+
+    Hooks for exercising the failure paths: they apply to the next
+    matching operation(s) process-wide and are cleared by [reset]. *)
+
+module Fault : sig
+  val enospc_after : int -> unit
+  (** Fail (as if the device were full) after [n] more successful
+      buffer flushes across all writers. *)
+
+  val short_write : unit -> unit
+  (** Silently truncate the next buffer flush, simulating a lost tail
+      write that only the reader's size validation can catch. *)
+
+  val flip_checksum : unit -> unit
+  (** Corrupt the checksum stored by the next [finish]. *)
+
+  val reset : unit -> unit
+end

@@ -31,6 +31,7 @@ type ctx = {
   task_size : int;
   width : Mstw.choice;
   cache : Build_cache.t;
+  gov : Mem_governor.t option;
 }
 
 let np ctx = Array.length ctx.rows
@@ -51,6 +52,37 @@ let mst_maintain ctx ~sample leaf old =
   match Mstw.try_extend ~fanout:ctx.fanout ~sample ~choice:ctx.width old a with
   | Some t -> Some (t, Printf.sprintf "+%d rows" (Array.length a - Mstw.length old))
   | None -> None
+
+(* Governed MST construction. When the governor says the in-memory build's
+   transients (operand array plus a sorted copy, ~16 B/row) would overrun
+   the budget, the tree is built by streaming its leaves level-by-level
+   ({!Mstw.create_stream}): [get] supplies elements one at a time so the
+   operand array is never materialized on that path. Value bounds
+   accumulate from 0 exactly like [Mst_width.value_bounds], so width
+   selection — and therefore the tree — is bit-identical to [Mstw.create]
+   over [arr ()]. *)
+let governed_mst ctx ~sample ~n ~get ~arr =
+  let stream =
+    match ctx.gov with
+    | Some g -> n > 0 && Mem_governor.stream_builds g ~bytes:(16 * n)
+    | None -> false
+  in
+  if not stream then Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width (arr ())
+  else begin
+    let mn = ref 0 and mx = ref 0 in
+    for i = 0 to n - 1 do
+      let v = get i in
+      if v < !mn then mn := v;
+      if v > !mx then mx := v
+    done;
+    Mstw.create_stream ~fanout:ctx.fanout ~sample ~choice:ctx.width ~n ~min_value:!mn
+      ~max_value:!mx
+      ~fill:(fun chunk ~pos ~len ->
+        for i = 0 to len - 1 do
+          chunk.(i) <- get (pos + i)
+        done)
+      ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Shared preprocessing helpers                                        *)
@@ -379,7 +411,9 @@ let eval_distinct_count ctx ~arg ~filter ~algorithm ~out =
       let tree =
         Build_cache.distinct_tree ctx.cache ~algo:(mst_tag algorithm) ~arg ~qual ~sample
           ~maintain:(mst_maintain ctx ~sample (fun () -> prev))
-          (fun () -> Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width prev)
+          (fun () ->
+            governed_mst ctx ~sample ~n:(Array.length prev) ~get:(Array.get prev)
+              ~arr:(fun () -> prev))
       in
       let next =
         if Frame.exclusion ctx.frame = Window_spec.Exclude_no_others then [||] else next_of prev
@@ -575,8 +609,10 @@ let eval_rank_family ctx ~variant ~order ~filter ~algorithm ~out =
   let qual = { Build_cache.filter; extra = Build_cache.Ex_none } in
   let rm = qualify ctx qual in
   let m = Remap.filtered_count rm in
-  let frank = Array.init m (fun i -> enc.Rank_encode.rank_codes.(Remap.position rm i)) in
-  let frow = Array.init m (fun i -> enc.Rank_encode.row_codes.(Remap.position rm i)) in
+  (* Lazy so the streamed (out-of-core) MST build path never materializes
+     the filtered code arrays it doesn't probe with. *)
+  let frank = lazy (Array.init m (fun i -> enc.Rank_encode.rank_codes.(Remap.position rm i))) in
+  let frow = lazy (Array.init m (fun i -> enc.Rank_encode.row_codes.(Remap.position rm i))) in
   let emit r v = out.(ctx.rows.(r)) <- v in
   let finish r ~cnt_less ~cnt_le ~rn0 ~s =
     match variant with
@@ -594,6 +630,7 @@ let eval_rank_family ctx ~variant ~order ~filter ~algorithm ~out =
   match variant, algorithm with
   | Dense_v, (Auto | Mst | Mst_no_cascade) ->
       let sample = if algorithm = Mst_no_cascade then 0 else ctx.sample in
+      let frank = Lazy.force frank in
       let rt =
         Build_cache.range_tree ctx.cache ~algo:(mst_tag algorithm) ~order ~qual ~sample (fun () ->
             Range_tree.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample frank)
@@ -613,27 +650,31 @@ let eval_rank_family ctx ~variant ~order ~filter ~algorithm ~out =
           in
           emit r (Value.Int (v + 1)))
   | Dense_v, Naive ->
+      let frank = Lazy.force frank in
       probe ctx (fun r ->
           let ranges = mapped_ranges ctx rm r in
           emit r (Value.Int (Naive.distinct_below frank ~ranges ~key:enc.Rank_encode.rank_codes.(r) + 1)))
   | Dense_v, _ -> unsupported "dense_rank supports Auto/Mst/Naive"
   | _, (Auto | Mst | Mst_no_cascade) ->
       let sample = if algorithm = Mst_no_cascade then 0 else ctx.sample in
-      let make a = Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width a in
+      let getr i = enc.Rank_encode.rank_codes.(Remap.position rm i) in
+      let getw i = enc.Rank_encode.row_codes.(Remap.position rm i) in
       let tree_rank =
         if needs_rank then
           Some
             (Build_cache.count_tree ctx.cache ~algo:(mst_tag algorithm) ~cls:Build_cache.Rank_codes ~order ~qual ~sample
-               ~maintain:(mst_maintain ctx ~sample (fun () -> frank))
-               (fun () -> make frank))
+               ~maintain:(mst_maintain ctx ~sample (fun () -> Lazy.force frank))
+               (fun () ->
+                 governed_mst ctx ~sample ~n:m ~get:getr ~arr:(fun () -> Lazy.force frank)))
         else None
       in
       let tree_row =
         if needs_row then
           Some
             (Build_cache.count_tree ctx.cache ~algo:(mst_tag algorithm) ~cls:Build_cache.Row_codes ~order ~qual ~sample
-               ~maintain:(mst_maintain ctx ~sample (fun () -> frow))
-               (fun () -> make frow))
+               ~maintain:(mst_maintain ctx ~sample (fun () -> Lazy.force frow))
+               (fun () ->
+                 governed_mst ctx ~sample ~n:m ~get:getw ~arr:(fun () -> Lazy.force frow)))
         else None
       in
       probe ctx (fun r ->
@@ -655,6 +696,7 @@ let eval_rank_family ctx ~variant ~order ~filter ~algorithm ~out =
           in
           finish r ~cnt_less ~cnt_le ~rn0 ~s)
   | _, Naive ->
+      let frank = Lazy.force frank and frow = Lazy.force frow in
       probe ctx (fun r ->
           let ranges = mapped_ranges ctx rm r in
           let s = covered_of ranges in
@@ -669,7 +711,7 @@ let eval_rank_family ctx ~variant ~order ~filter ~algorithm ~out =
           in
           finish r ~cnt_less ~cnt_le ~rn0 ~s)
   | _, Order_statistic ->
-      let codes = if needs_row then frow else frank in
+      let codes = if needs_row then Lazy.force frow else Lazy.force frank in
       let own r =
         if needs_row then enc.Rank_encode.row_codes.(r) else enc.Rank_encode.rank_codes.(r)
       in
@@ -720,7 +762,7 @@ let eval_select_family ctx ~kind ~arg ~order ~ignore_nulls ~filter ~algorithm ~o
   let qual = { Build_cache.filter; extra } in
   let rm = qualify ctx qual in
   let m = Remap.filtered_count rm in
-  let fro = Array.init m (fun i -> enc.Rank_encode.row_codes.(Remap.position rm i)) in
+  let fro = lazy (Array.init m (fun i -> enc.Rank_encode.row_codes.(Remap.position rm i))) in
   let needs_rn = match kind with Sel_lead _ | Sel_lag _ -> true | _ -> false in
   (* Per-algorithm primitives: [select_nth ranges s nth] yields the selected
      row's partition position; [rn ranges r] the current row's 0-based
@@ -771,10 +813,10 @@ let eval_select_family ctx ~kind ~arg ~order ~ignore_nulls ~filter ~algorithm ~o
   match algorithm with
   | Auto | Mst | Mst_no_cascade ->
       let sample = if algorithm = Mst_no_cascade then 0 else ctx.sample in
-      let make a = Mstw.create ~pool:ctx.pool ~fanout:ctx.fanout ~sample ~choice:ctx.width a in
+      let getro i = enc.Rank_encode.row_codes.(Remap.position rm i) in
       (* permutation of filtered positions in function order = §4.5 Fig. 6 *)
       let sel_perm () =
-        let keys = Array.copy fro in
+        let keys = Array.init m getro in
         let permf = Array.init m (fun i -> i) in
         Introsort.sort_pairs ~key:keys ~payload:permf;
         permf
@@ -782,14 +824,17 @@ let eval_select_family ctx ~kind ~arg ~order ~ignore_nulls ~filter ~algorithm ~o
       let sel_tree =
         Build_cache.count_tree ctx.cache ~algo:(mst_tag algorithm) ~cls:Build_cache.Select_perm ~order ~qual ~sample
           ~maintain:(mst_maintain ctx ~sample sel_perm)
-          (fun () -> make (sel_perm ()))
+          (fun () ->
+            let p = sel_perm () in
+            governed_mst ctx ~sample ~n:m ~get:(Array.get p) ~arr:(fun () -> p))
       in
       let cnt_tree =
         if needs_rn then
           Some
             (Build_cache.count_tree ctx.cache ~algo:(mst_tag algorithm) ~cls:Build_cache.Row_codes ~order ~qual ~sample
-               ~maintain:(mst_maintain ctx ~sample (fun () -> fro))
-               (fun () -> make fro))
+               ~maintain:(mst_maintain ctx ~sample (fun () -> Lazy.force fro))
+               (fun () ->
+                 governed_mst ctx ~sample ~n:m ~get:getro ~arr:(fun () -> Lazy.force fro)))
         else None
       in
       probe ctx (fun r ->
@@ -801,6 +846,7 @@ let eval_select_family ctx ~kind ~arg ~order ~ignore_nulls ~filter ~algorithm ~o
               Mstw.count_ranges (Option.get cnt_tree) ~ranges
                 ~less_than:enc.Rank_encode.row_codes.(r)))
   | Naive ->
+      let fro = Lazy.force fro in
       Task_pool.parallel_for ctx.pool ~lo:0 ~hi:(np ctx) ~chunk:ctx.task_size (fun lo hi ->
           let scratch = Array.make (max m 1) 0 in
           for r = lo to hi - 1 do
@@ -814,6 +860,7 @@ let eval_select_family ctx ~kind ~arg ~order ~ignore_nulls ~filter ~algorithm ~o
                 Naive.count_less fro ~ranges ~less_than:enc.Rank_encode.row_codes.(r))
           done)
   | Incremental | Incremental_serial ->
+      let fro = Lazy.force fro in
       incremental_drive ctx rm
         ~serial:(algorithm = Incremental_serial)
         ~make_state:(fun () ->
@@ -828,6 +875,7 @@ let eval_select_family ctx ~kind ~arg ~order ~ignore_nulls ~filter ~algorithm ~o
                 ~rn:(fun () -> Inc.Sorted_window.rank sw enc.Rank_encode.row_codes.(r))),
             fun () -> Inc.Sorted_window.clear sw ))
   | Order_statistic ->
+      let fro = Lazy.force fro in
       incremental_drive ctx rm ~serial:false ~make_state:(fun () ->
           let ost = Ost.create () in
           ( (fun p -> Ost.insert ost fro.(p)),

@@ -21,6 +21,11 @@ type ctx = {
   cache : Build_cache.t;
       (** per-partition structure cache shared by every item evaluated over
           [rows] — encodings and trees are built once per structural key *)
+  gov : Mem_governor.t option;
+      (** memory governor: when set, large MST builds stream their leaves
+          ({!Holistic_core.Mst_width.create_stream}) whenever
+          {!Mem_governor.stream_builds} says the materialized operand would
+          overrun the budget *)
 }
 
 val eval_item : ctx -> Window_func.t -> out:Value.t array -> unit

@@ -4,6 +4,8 @@
 
 let order_permutation = Window_plan.order_permutation
 
-let run ?pool ?fanout ?sample ?task_size ?width ?evaluator ?session table ~over items =
-  Window_plan.run ?pool ?fanout ?sample ?task_size ?width ?evaluator ?session table
+let run ?pool ?fanout ?sample ?task_size ?width ?evaluator ?governor ?mem_limit ?session table
+    ~over items =
+  Window_plan.run ?pool ?fanout ?sample ?task_size ?width ?evaluator ?governor ?mem_limit ?session
+    table
     [ { Window_plan.spec = over; items } ]

@@ -15,6 +15,8 @@ val run :
   ?task_size:int ->
   ?width:Holistic_core.Mst_width.choice ->
   ?evaluator:Evaluator_choice.name ->
+  ?governor:Mem_governor.t ->
+  ?mem_limit:int ->
   ?session:Session.t ->
   Table.t ->
   over:Window_spec.t ->
@@ -30,6 +32,9 @@ val run :
     partition's rank encoding fits); [evaluator] forces every [Auto] item
     onto one backend, rejecting unsupported (function, backend) pairs —
     without it the cost model picks per item (see {!Window_plan.run});
+    [governor]/[mem_limit] bound the operator's working set — sorts spill
+    to disk runs and MST builds stream under pressure, with bit-identical
+    results (see {!Window_plan.run} and {!Mem_governor});
     [session] is a persistent {!Session} structure store consulted and
     populated when it owns [table] (see {!Window_plan.run}). *)
 

@@ -106,21 +106,80 @@ let boundaries_of_key0 ~key0 ~divisor n =
    counts as comparator-path only when the codec produced no words at all
    (nothing but closure comparisons) — the regression the stats guard
    against. Returns [(perm, partition boundaries, comparator_path)]. *)
-let full_sort pool table ~pids ~order =
+let full_sort ?gov pool table ~pids ~order =
   let n = Table.nrows table in
   let kc = Key_codec.compile ?pids table order in
-  let perm, key0 =
-    Parallel_sort.sort_encoded pool ~n ~words:kc.Key_codec.words ?tie:kc.Key_codec.residual ()
+  let words = kc.Key_codec.words in
+  let nwords = Array.length words in
+  let tie = kc.Key_codec.residual in
+  let comparator_path = nwords = 0 && tie <> None in
+  let in_memory () =
+    let perm, key0 = Parallel_sort.sort_encoded pool ~n ~words ?tie () in
+    let boundaries =
+      match kc.Key_codec.pid_divisor with
+      | None -> [| 0; n |]
+      | Some divisor -> boundaries_of_key0 ~key0 ~divisor n
+    in
+    (perm, boundaries, comparator_path)
   in
-  let boundaries =
-    match kc.Key_codec.pid_divisor with
-    | None -> [| 0; n |]
-    | Some divisor -> boundaries_of_key0 ~key0 ~divisor n
-  in
-  let comparator_path =
-    Array.length kc.Key_codec.words = 0 && kc.Key_codec.residual <> None
-  in
-  (perm, boundaries, comparator_path)
+  match gov with
+  | None -> in_memory ()
+  | Some _ when nwords = 0 -> in_memory ()
+  | Some g -> (
+      (* governed: charge the encoded key words, let the governor decide,
+         and mirror each path's transient working set (see the model in
+         Mem_governor.plan_sort) so [peak] is the accounted high-water *)
+      let c_words = 8 * nwords * n in
+      Mem_governor.charge g c_words;
+      let multi_run = Task_pool.size pool > 1 && n > Task_pool.default_task_size in
+      match Mem_governor.plan_sort g ~n ~nwords ~multi_run with
+      | Mem_governor.Sort_in_memory ->
+          let need = (16 * n) + if multi_run then 16 * n else 0 in
+          Mem_governor.charge g need;
+          let r = in_memory () in
+          Mem_governor.release g (need + c_words);
+          r
+      | Mem_governor.Sort_spill { run_rows; read_entries } ->
+          let dir = Mem_governor.spill_dir g in
+          let stride = nwords + 1 in
+          let nruns = ((n - 1) / run_rows) + 1 in
+          let c_form = 24 * run_rows in
+          let c_merge = (8 * n) + (nruns * read_entries * stride * 8) in
+          Mem_governor.charge g c_form;
+          let interior = ref [] in
+          let on_key0 =
+            match kc.Key_codec.pid_divisor with
+            | None -> None
+            | Some divisor ->
+                let prev = ref 0 in
+                Some
+                  (fun rank k0 ->
+                    let p = k0 / divisor in
+                    if rank = 0 then prev := p
+                    else if p <> !prev then begin
+                      interior := rank :: !interior;
+                      prev := p
+                    end)
+          in
+          let perm, runs, bytes =
+            Parallel_sort.sort_encoded_spill ~n ~words ?tie ~run_rows ~read_entries ~dir ?on_key0
+              ~after_runs:(fun () ->
+                (* the key words are on disk now: swap the formation-side
+                   charges for the merge-side ones *)
+                Mem_governor.release g (c_form + c_words);
+                Mem_governor.charge g c_merge)
+              ()
+          in
+          Mem_governor.release g c_merge;
+          Mem_governor.note_spill g ~runs ~bytes;
+          let boundaries =
+            if n = 0 then [| 0; 0 |]
+            else
+              match kc.Key_codec.pid_divisor with
+              | None -> [| 0; n |]
+              | Some _ -> Array.of_list (0 :: List.rev (n :: !interior))
+          in
+          (perm, boundaries, comparator_path))
 
 (* ------------------------------------------------------------------ *)
 (* The persistent structure store                                      *)

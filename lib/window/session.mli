@@ -44,13 +44,19 @@ val boundaries_of_key0 : key0:int array -> divisor:int -> int -> int array
     partition component is [word / divisor]). *)
 
 val full_sort :
+  ?gov:Mem_governor.t ->
   Task_pool.t ->
   Table.t ->
   pids:int array option ->
   order:Sort_spec.t ->
   int array * int array * bool
 (** [(perm, boundaries, comparator_path)] — the plan's from-scratch
-    (partition, order) sort through the key codec. *)
+    (partition, order) sort through the key codec. With a governor the
+    encoded key words and the chosen path's transients are charged
+    against its budget, and the sort runs out of core
+    ({!Parallel_sort.sort_encoded_spill}, partition boundaries detected
+    on the merge stream) whenever {!Mem_governor.plan_sort} says so;
+    without one the historical in-memory path runs unchanged. *)
 
 (** {2 The store} *)
 

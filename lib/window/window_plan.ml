@@ -317,9 +317,24 @@ let order_permutation ?pool table ~over =
 
 let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
     ?(task_size = Task_pool.default_task_size) ?(width = Holistic_core.Mst_width.Auto) ?evaluator
-    ?session table clauses =
+    ?governor ?mem_limit ?session table clauses =
   let pool = match pool with Some p -> p | None -> Task_pool.default () in
   let env_force = parse_env_evaluator () in
+  (* memory governor: an explicit one wins, then ?mem_limit (bytes), then
+     HOLIWIN_MEM_LIMIT; none → the exact historical in-memory plan, with
+     identical spans and goldens. Governors made here own their spill dir. *)
+  let gov, gov_owned =
+    match governor with
+    | Some g -> (Some g, false)
+    | None -> (
+        match mem_limit with
+        | Some b -> (Some (Mem_governor.create ~budget:b ()), true)
+        | None -> (
+            match Mem_governor.of_env () with Some g -> (Some g, true) | None -> (None, false)))
+  in
+  Fun.protect ~finally:(fun () ->
+      match gov with Some g when gov_owned -> Mem_governor.cleanup g | _ -> ())
+  @@ fun () ->
   let n = Table.nrows table in
   (* a session only applies to queries over exactly its table — a plan over
      any other table (e.g. a WHERE-filtered copy) runs stateless *)
@@ -373,6 +388,7 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
               reused_sorts := !reused_sorts + List.length smembers - 1;
               Obs.Counter.add c_reused_sorts (List.length smembers - 1);
               let sort_kind = ref "" and sort_comp = ref false and sort_cache = ref "" in
+              let sort_spill = ref "" in
               let session_hit =
                 match session with
                 | Some s -> Session.lookup s ~pb ~order
@@ -387,7 +403,8 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                       ("path", if !sort_comp then "comparator" else "encoded");
                       ("rows", string_of_int n);
                     ]
-                    @ if !sort_cache = "" then [] else [ ("cache", !sort_cache) ])
+                    @ (if !sort_cache = "" then [] else [ ("cache", !sort_cache) ])
+                    @ if !sort_spill = "" then [] else [ ("spilled", !sort_spill) ])
                   (fun () ->
                     let ((perm, boundaries) as result) =
                       match session_hit with
@@ -404,7 +421,7 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                     | None ->
                       (match !base with
                     | None ->
-                        let perm, b, comp = full_sort pool table ~pids ~order in
+                        let perm, b, comp = full_sort ?gov pool table ~pids ~order in
                         incr full_sorts;
                         Obs.Counter.incr c_full_sorts;
                         if comp then begin
@@ -422,7 +439,7 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                              and keep the parallel path *)
                           incr full_sorts;
                           Obs.Counter.incr c_full_sorts;
-                          let perm, _, comp = full_sort pool table ~pids ~order in
+                          let perm, _, comp = full_sort ?gov pool table ~pids ~order in
                           if comp then begin
                             incr comparator_sorts;
                             Obs.Counter.incr c_comparator_sorts
@@ -446,6 +463,14 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                           (perm, bnds)
                         end)
                     in
+                    (match gov with
+                    | Some g -> (
+                        match Mem_governor.take_last_spill g with
+                        | Some (runs, bytes) ->
+                            sort_spill :=
+                              Printf.sprintf "(runs=%d, %s)" runs (Obs.human_bytes bytes)
+                        | None -> ())
+                    | None -> ());
                     (* sort-stage working set: the permutation plus the
                        partition boundary array this stage holds onto *)
                     Obs.record_bytes (fun () ->
@@ -564,6 +589,7 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
                           task_size;
                           width;
                           cache;
+                          gov;
                         }
                       in
                       match spart with
@@ -681,5 +707,8 @@ let run_with_stats ?pool ?(fanout = 32) ?(sample = 32)
       tree_builds = Build_cache.tree_build_count counters - tree_builds0;
     } )
 
-let run ?pool ?fanout ?sample ?task_size ?width ?evaluator ?session table clauses =
-  fst (run_with_stats ?pool ?fanout ?sample ?task_size ?width ?evaluator ?session table clauses)
+let run ?pool ?fanout ?sample ?task_size ?width ?evaluator ?governor ?mem_limit ?session table
+    clauses =
+  fst
+    (run_with_stats ?pool ?fanout ?sample ?task_size ?width ?evaluator ?governor ?mem_limit
+       ?session table clauses)

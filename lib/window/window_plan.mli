@@ -63,6 +63,8 @@ val run :
   ?task_size:int ->
   ?width:Holistic_core.Mst_width.choice ->
   ?evaluator:Evaluator_choice.name ->
+  ?governor:Mem_governor.t ->
+  ?mem_limit:int ->
   ?session:Session.t ->
   Table.t ->
   clause list ->
@@ -82,6 +84,19 @@ val run :
     surfaced in EXPLAIN ANALYZE ([choose] spans with the rejected
     candidates' predicted costs, and an [evaluator] arg on item spans).
 
+    [?governor] / [?mem_limit] bound the plan's working set: stage sorts
+    spill to disk runs and large MST builds stream their leaves whenever
+    {!Mem_governor} says the in-memory path would overrun the budget.
+    [?mem_limit] (bytes) creates a fresh governor owned by this run (its
+    spill directory is cleaned up on exit, success or failure); an explicit
+    [?governor] wins over it and stays owned by the caller.  When neither
+    is given, [HOLIWIN_MEM_LIMIT] is consulted ({!Mem_governor.of_env}).
+    Results are bit-identical to the unlimited run; spills are surfaced as
+    a [spilled=(runs=n, bytes)] arg on the sort span and the
+    [sort.spill_runs] / [sort.spill_bytes] counters.
+    @raise Mem_governor.Budget_too_small
+      when the budget cannot cover even the minimum spill working set.
+
     [?session] plugs in a persistent structure store over exactly this
     table (any other table — e.g. a WHERE-filtered copy — runs stateless):
     stage sorts, per-partition caches and finished item outputs are read
@@ -97,6 +112,8 @@ val run_with_stats :
   ?task_size:int ->
   ?width:Holistic_core.Mst_width.choice ->
   ?evaluator:Evaluator_choice.name ->
+  ?governor:Mem_governor.t ->
+  ?mem_limit:int ->
   ?session:Session.t ->
   Table.t ->
   clause list ->

@@ -447,11 +447,54 @@ let forced_case ~pool rng idx ~seed =
         (Table.columns baseline))
     Evaluator_choice.all
 
+(* Out-of-core equivalence: the same case run under a memory governor —
+   spilled sort runs, streamed MST builds — must produce bit-identical
+   columns (floats compared by bits, NaNs included) and identical plan
+   statistics. FUZZ_MEM_LIMIT picks the budget: the default "spill"
+   forces every sort out of core regardless of size (the only way to
+   engage the spill machinery on these tiny tables), K/M/G-suffixed
+   bytes run the real budget arithmetic. *)
+let mem_limit_case ~pool ~limit rng idx ~seed =
+  let rng = Rng.split rng in
+  let table = gen_table rng in
+  let clauses = gen_clauses rng in
+  let task_size = [| 4; 16; 20_000 |].(Rng.int rng 3) in
+  let fanout = [| 2; 4; 16 |].(Rng.int rng 3) in
+  let t0, s0 = Window_plan.run_with_stats ~pool ~fanout ~task_size table clauses in
+  let budget, policy = Mem_governor.parse_limit limit in
+  let governor = Mem_governor.create ?budget ~policy () in
+  let t, s =
+    Fun.protect
+      ~finally:(fun () -> Mem_governor.cleanup governor)
+      (fun () ->
+        try Window_plan.run_with_stats ~pool ~fanout ~task_size ~governor table clauses
+        with e ->
+          Alcotest.failf "FUZZ_SEED=%d mem-limit case %d: engine raised %s under limit %s\n%s"
+            seed idx (Printexc.to_string e) limit (describe table clauses))
+  in
+  if s <> s0 then
+    Alcotest.failf "FUZZ_SEED=%d mem-limit case %d: plan stats differ under limit %s\n%s" seed
+      idx limit (describe table clauses);
+  List.iter
+    (fun (name, c0) ->
+      let c = Table.column t name in
+      for r = 0 to Table.nrows t0 - 1 do
+        let v0 = Column.get c0 r and v = Column.get c r in
+        if not (value_identical v0 v) then
+          Alcotest.failf
+            "FUZZ_SEED=%d mem-limit case %d row %d col %s: unlimited gave %s, limit %s gave %s\n%s"
+            seed idx r name (Value.to_string v0) limit (Value.to_string v)
+            (describe table clauses)
+      done)
+    (Table.columns t0)
+
 let () =
   let seed = env_int "FUZZ_SEED" 20240807 in
   let cases = env_int "FUZZ_CASES" 500 in
   let domain_cases = env_int "FUZZ_DOMAIN_CASES" 60 in
   let forced_cases = env_int "FUZZ_FORCED_CASES" 120 in
+  let mem_cases = env_int "FUZZ_MEM_CASES" 120 in
+  let mem_limit = Option.value (Sys.getenv_opt "FUZZ_MEM_LIMIT") ~default:"spill" in
   (* HOLIWIN_DOMAINS sizes the differential pool too, so the CI matrix leg
      runs the whole suite under real worker domains. *)
   let domains = env_int "HOLIWIN_DOMAINS" (min 4 (Domain.recommended_domain_count ())) in
@@ -485,6 +528,16 @@ let () =
           forced_case ~pool rng idx ~seed
         done)
   in
+  let run_mem () =
+    let pool = Task_pool.create domains in
+    Fun.protect
+      ~finally:(fun () -> Task_pool.shutdown pool)
+      (fun () ->
+        let rng = Rng.create (seed + 3) in
+        for idx = 0 to mem_cases - 1 do
+          mem_limit_case ~pool ~limit:mem_limit rng idx ~seed
+        done)
+  in
   Alcotest.run "fuzz"
     [
       ( "differential",
@@ -507,5 +560,12 @@ let () =
             (Printf.sprintf "every eligible backend bit-identical (%d cases, seed %d)"
                forced_cases seed)
             `Quick run_forced;
+        ] );
+      ( "mem-limit",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "bit-identical out of core, limit=%s (%d cases, seed %d)" mem_limit
+               mem_cases seed)
+            `Quick run_mem;
         ] );
     ]
