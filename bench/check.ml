@@ -76,21 +76,55 @@ let fmt_value v =
   else if Float.is_integer v then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.4f" v
 
+(* Relative move of the fresh value against the baseline, signed so that
+   positive means "toward the metric's bad direction". *)
+let bad_delta (c : Report.check) =
+  match c.Report.fresh with
+  | None -> None
+  | Some f ->
+      let denom = if c.Report.baseline = 0. then 1. else Float.abs c.Report.baseline in
+      let d = (f -. c.Report.baseline) /. denom in
+      Some
+        (match c.Report.m_direction with
+        | Report.Lower_better -> d
+        | Report.Higher_better -> -.d)
+
+(* How far past the tolerance bound a failing gated metric landed, as a
+   percentage of the baseline (None when passing or ungated). *)
+let over_pct (c : Report.check) =
+  match (bad_delta c, c.Report.m_tolerance) with
+  | Some d, Some t when d > t -> Some (100. *. (d -. t))
+  | _ -> None
+
+let gate_of (c : Report.check) =
+  match c.Report.m_tolerance with
+  | None -> "-"
+  | Some t ->
+      Printf.sprintf "%.0f%% %s" (100. *. t)
+        (match c.Report.m_direction with
+        | Report.Lower_better -> "lower"
+        | Report.Higher_better -> "higher")
+
 let print_check (c : Report.check) =
-  let gate =
-    match c.Report.m_tolerance with
+  let delta =
+    match bad_delta c with
     | None -> "-"
-    | Some t ->
-        Printf.sprintf "%.0f%% %s" (100. *. t)
-          (match c.Report.m_direction with
-          | Report.Lower_better -> "lower"
-          | Report.Higher_better -> "higher")
+    | Some d ->
+        (* sign restored to the metric's own axis for readability *)
+        let raw = match c.Report.m_direction with Report.Lower_better -> d | _ -> -.d in
+        Printf.sprintf "%+.1f%%" (100. *. raw)
   in
-  Printf.printf "  %-24s %14s %14s %12s  %s\n" c.Report.metric_name
+  let status =
+    if c.Report.ok then "ok"
+    else
+      match over_pct c with
+      | Some p -> Printf.sprintf "FAIL (%.1f%% over)" p
+      | None -> "FAIL"
+  in
+  Printf.printf "  %-24s %14s %14s %9s %12s  %s\n" c.Report.metric_name
     (fmt_value c.Report.baseline)
     (match c.Report.fresh with Some f -> fmt_value f | None -> "MISSING")
-    gate
-    (if c.Report.ok then "ok" else "FAIL")
+    delta (gate_of c) status
 
 (* Counters that must stay strictly positive: when a committed baseline
    carries one of these, the matching fresh counter must be > 0, or the
@@ -105,7 +139,7 @@ let counter_of report name =
       match List.assoc_opt name kvs with Some (Report.J_int v) -> Some v | _ -> None)
   | _ -> None
 
-let check_positive_counters ~baseline ~fresh =
+let check_positive_counters ~report_name ~baseline ~fresh violations =
   List.fold_left
     (fun failures name ->
       match counter_of baseline name with
@@ -113,15 +147,26 @@ let check_positive_counters ~baseline ~fresh =
       | Some _ -> (
           let fresh_v = counter_of fresh name in
           let ok = match fresh_v with Some v -> v > 0 | None -> false in
-          Printf.printf "  %-24s %14s %14s %12s  %s\n" name "(counter)"
+          Printf.printf "  %-24s %14s %14s %9s %12s  %s\n" name "(counter)"
             (match fresh_v with Some v -> string_of_int v | None -> "MISSING")
-            "> 0"
+            "-" "> 0"
             (if ok then "ok" else "FAIL");
-          if ok then failures else failures + 1))
+          if ok then failures
+          else begin
+            violations :=
+              Printf.sprintf "%-28s %-24s fresh=%s violates > 0" report_name name
+                (match fresh_v with Some v -> string_of_int v | None -> "MISSING")
+              :: !violations;
+            failures + 1
+          end))
     0 positive_counters
 
+(* The full diff table prints for every report, pass or fail; failures are
+   additionally recapped in one block at the end so a red CI log leads
+   with exactly which metrics moved, by how much, and past which bound. *)
 let gate files =
   let failures = ref 0 in
+  let violations = ref [] in
   List.iter
     (fun name ->
       let base_path = Filename.concat !baselines_dir name in
@@ -131,9 +176,11 @@ let gate files =
         with e -> die "cannot parse baseline %s: %s" base_path (Printexc.to_string e)
       in
       Printf.printf "%s (%s)\n" name (Report.experiment_of baseline);
-      Printf.printf "  %-24s %14s %14s %12s\n" "metric" "baseline" "fresh" "tolerance";
+      Printf.printf "  %-24s %14s %14s %9s %12s\n" "metric" "baseline" "fresh" "delta"
+        "tolerance";
       (if not (Sys.file_exists fresh_path) then (
          Printf.printf "  MISSING fresh report %s\n" fresh_path;
+         violations := Printf.sprintf "%-28s missing fresh report" name :: !violations;
          incr failures)
        else
          let fresh =
@@ -142,11 +189,25 @@ let gate files =
          in
          let checks = Report.compare_reports ~baseline ~fresh in
          List.iter print_check checks;
+         List.iter
+           (fun (c : Report.check) ->
+             violations :=
+               Printf.sprintf "%-28s %-24s baseline=%s fresh=%s%s (gate %s)" name
+                 c.Report.metric_name (fmt_value c.Report.baseline)
+                 (match c.Report.fresh with Some f -> fmt_value f | None -> "MISSING")
+                 (match over_pct c with
+                 | Some p -> Printf.sprintf ", %.1f%% over" p
+                 | None -> "")
+                 (gate_of c)
+               :: !violations)
+           (Report.violations checks);
          failures := !failures + List.length (Report.violations checks);
-         failures := !failures + check_positive_counters ~baseline ~fresh);
+         failures := !failures + check_positive_counters ~report_name:name ~baseline ~fresh violations);
       print_newline ())
     files;
   if !failures > 0 then (
+    Printf.printf "violations:\n";
+    List.iter (fun line -> Printf.printf "  %s\n" line) (List.rev !violations);
     Printf.printf "%d gated metric(s) FAILED\n" !failures;
     exit 1)
   else Printf.printf "all gated metrics within tolerance\n"

@@ -26,7 +26,7 @@ type timing = { best : float; mean : float; stddev : float; runs : int }
 (* [?hist] names an [Obs.Histogram] that each rep's duration (ns) is
    recorded into ungated, so bench reports can carry the distribution. *)
 let time_best ?hist ~reps f =
-  let h = Option.map Obs.Histogram.make hist in
+  let h = Option.map (Obs.Histogram.make ~help:"Benchmark repetition wall times (ns)") hist in
   let reps = max 1 reps in
   let ts = Array.init reps (fun _ -> time f) in
   Array.iter

@@ -157,6 +157,32 @@ let run ~rows () =
   let legacy_t = H.time_best ~hist:"bench.legacy_ns" ~reps:3 (fun () -> Legacy_window.run_clauses table cs) in
   let plan_s = plan_t.H.best and legacy_s = legacy_t.H.best in
   let speedup = legacy_s /. plan_s in
+  (* telemetry A/B: the plan leg above runs with telemetry disabled (one
+     atomic load per instrumentation point); leg B runs the same query
+     with tracing on AND a per-query JSONL log sink attached, so the
+     ratio bounds the cost of the full telemetry stack, not just the
+     counters. Disabled-mode overhead of the hooks themselves is gated
+     separately (behaviorally) in test/test_telemetry.ml. *)
+  let was_enabled = Holistic_obs.Obs.enabled () in
+  let qlog_path = Filename.temp_file "holiwin_bench_qlog" ".jsonl" in
+  let sink = Sql.Query_stats.Log.open_ qlog_path in
+  Holistic_obs.Obs.enable ();
+  H.gc_settle ();
+  let telemetry_t =
+    H.time_best ~reps:3 (fun () ->
+        Sql.query ~algorithm:Wf.Mst ~query_log:sink ~tables:[ ("t", table) ] query)
+  in
+  if not was_enabled then Holistic_obs.Obs.disable ();
+  Sql.Query_stats.Log.close sink;
+  let qlog_records = List.length (Sql.Query_stats.Log.load qlog_path) in
+  (try Sys.remove qlog_path with Sys_error _ -> ());
+  (try Sys.remove (qlog_path ^ ".1") with Sys_error _ -> ());
+  let telemetry_s = telemetry_t.H.best in
+  let telemetry_overhead = telemetry_s /. plan_s in
+  H.note "telemetry A/B: disabled %.3f s, enabled+qlog %.3f s (%.2fx, %d qlog records)" plan_s
+    telemetry_s telemetry_overhead qlog_records;
+  if qlog_records < 3 then
+    failwith "sql-multiwindow: telemetry leg produced fewer query-log records than runs";
   H.print_table ~header:[ "path"; "seconds"; "mean±sd"; "speedup" ]
     ~rows:
       [
@@ -190,9 +216,16 @@ let run ~rows () =
         ("tree_builds", Report.metric ~tolerance:0.01 (float_of_int stats.tree_builds));
         ("full_sorts", Report.metric ~tolerance:0.01 (float_of_int stats.full_sorts));
         ("partial_sorts", Report.metric ~tolerance:0.01 (float_of_int stats.partial_sorts));
+        (* gated generously: the full telemetry stack (tracing + per-query
+           log) must stay in the same ballpark as the disabled leg; the
+           ratio is machine-independent but noisy at smoke sizes *)
+        ( "telemetry_overhead",
+          Report.metric ~unit_:"x" ~direction:Report.Lower_better ~tolerance:0.5
+            telemetry_overhead );
         (* report-only: absolute wall times are machine-dependent *)
         ("plan_s", Report.metric ~unit_:"s" plan_s);
         ("legacy_s", Report.metric ~unit_:"s" legacy_s);
+        ("telemetry_s", Report.metric ~unit_:"s" telemetry_s);
       ]
     ~counters:
       [
@@ -209,5 +242,6 @@ let run ~rows () =
          [
            ("plan", H.json_of_timing plan_t);
            ("legacy", H.json_of_timing legacy_t);
+           ("telemetry", H.json_of_timing telemetry_t);
          ]);
   H.note "wrote BENCH_sql_multiwindow.json"

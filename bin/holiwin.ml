@@ -131,13 +131,24 @@ let query_cmd =
   let timing = Arg.(value & flag & info [ "time" ] ~doc:"Print execution time.") in
   let max_rows = Arg.(value & opt int 40 & info [ "max-rows" ] ~doc:"Rows to display.") in
   let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Write full result as CSV.") in
-  let run sql table_specs algorithm evaluator mem_limit timing max_rows output =
+  let query_log =
+    Arg.(value & opt (some string) None & info [ "query-log" ] ~docv:"FILE"
+           ~doc:"Append one holiwin-qlog/1 JSONL record per statement (wall time, \
+                 rows, byte counters, cache and evaluator tallies) to FILE, \
+                 rotating to FILE.1 by size. $(b,HOLIWIN_QUERY_LOG) is the same \
+                 knob as an environment variable.")
+  in
+  let run sql table_specs algorithm evaluator mem_limit timing max_rows output query_log =
     try
       let tables = List.map load_table table_specs in
       with_governor mem_limit @@ fun governor ->
+      let sink = Option.map (fun p -> Holistic_sql.Sql.Query_stats.Log.open_ p) query_log in
       let t0 = Unix.gettimeofday () in
-      let result = Holistic_sql.Sql.query ?algorithm ?evaluator ?governor ~tables sql in
+      let result =
+        Holistic_sql.Sql.query ?algorithm ?evaluator ?governor ?query_log:sink ~tables sql
+      in
       let dt = Unix.gettimeofday () -. t0 in
+      Option.iter Holistic_sql.Sql.Query_stats.Log.close sink;
       (match output with
       | Some path -> Csv.save path result
       | None -> Table.print ~max_rows result);
@@ -158,7 +169,8 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a SQL query with extended window functions")
-    Term.(const run $ sql $ tables $ algorithm $ evaluator $ mem_limit $ timing $ max_rows $ output)
+    Term.(const run $ sql $ tables $ algorithm $ evaluator $ mem_limit $ timing $ max_rows
+          $ output $ query_log)
 
 (* --- explain ---------------------------------------------------------- *)
 
@@ -221,6 +233,89 @@ let explain_cmd =
     (Cmd.info "explain" ~doc:"Show a query's structure; --analyze executes it with tracing")
     Term.(const run $ sql $ tables $ analyze $ trace_out $ evaluator $ mem_limit)
 
+(* --- metrics ---------------------------------------------------------- *)
+
+(* Run a workload with telemetry on and print one coherent snapshot of
+   every registered metric — counters, gauges (live heap, session
+   residency, pool domains), latency histograms and the sliding-window
+   SLO quantiles — as Prometheus text exposition and/or JSON. *)
+let metrics_cmd =
+  let sqls =
+    Arg.(value & pos_all string [] & info [] ~docv:"SQL"
+           ~doc:"Statements to run before the snapshot (each repeated \
+                 $(b,--repeat) times). With none, the snapshot still reports \
+                 every registered metric at its current value.")
+  in
+  let tables =
+    Arg.(value & opt_all string [] & info [ "table"; "t" ] ~docv:"NAME=SRC"
+           ~doc:"Bind a table: NAME=file.csv or NAME=generator:rows. The first \
+                 binding becomes a session's table, so the session.* residency \
+                 gauges populate.")
+  in
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat"; "r" ] ~docv:"N"
+           ~doc:"Run each statement N times (fills the sliding-window latency \
+                 quantiles).")
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("prometheus", `Prom); ("json", `Json); ("both", `Both) ]) `Prom
+         & info [ "format" ] ~docv:"FMT" ~doc:"Output format: prometheus, json or both.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Write to FILE (default stdout).")
+  in
+  let query_log =
+    Arg.(value & opt (some string) None & info [ "query-log" ] ~docv:"FILE"
+           ~doc:"Also append one holiwin-qlog/1 record per executed statement.")
+  in
+  let run sqls table_specs repeat format output query_log =
+    try
+      let tables = List.map load_table table_specs in
+      Holistic_obs.Obs.enable ();
+      let module Sql = Holistic_sql.Sql in
+      let session =
+        match tables with (_, t) :: _ -> Some (Sql.session_create t) | [] -> None
+      in
+      let sink = Option.map (fun p -> Sql.Query_stats.Log.open_ p) query_log in
+      for _ = 1 to max 1 repeat do
+        List.iter (fun sql -> ignore (Sql.query ?session ?query_log:sink ~tables sql)) sqls
+      done;
+      Option.iter Sql.Query_stats.Log.close sink;
+      let snap = Holistic_obs.Obs.Metrics.snapshot () in
+      let stamp_ms = int_of_float (Unix.gettimeofday () *. 1000.) in
+      let text =
+        match format with
+        | `Prom -> Holistic_obs.Obs.Metrics.to_prometheus ~stamp_ms snap
+        | `Json -> Holistic_obs.Obs.Metrics.to_json ~stamp_ms snap ^ "\n"
+        | `Both ->
+            Holistic_obs.Obs.Metrics.to_prometheus ~stamp_ms snap
+            ^ Holistic_obs.Obs.Metrics.to_json ~stamp_ms snap ^ "\n"
+      in
+      (match output with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc
+      | None -> print_string text);
+      0
+    with
+    | Holistic_sql.Sql.Parse_error (msg, off) ->
+        Printf.eprintf "parse error at offset %d: %s\n" off msg;
+        1
+    | Holistic_sql.Sql.Semantic_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Failure msg | Invalid_argument msg | Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a workload with telemetry on and print a metrics snapshot \
+             (Prometheus text exposition or JSON)")
+    Term.(const run $ sqls $ tables $ repeat $ format $ output $ query_log)
+
 (* --- session ---------------------------------------------------------- *)
 
 (* Interactive/scripted driver for the persistent structure store: one
@@ -236,11 +331,17 @@ let session_cmd =
            ~doc:"Read commands from FILE instead of stdin.")
   in
   let max_rows = Arg.(value & opt int 40 & info [ "max-rows" ] ~doc:"Rows to display.") in
-  let run table_spec script max_rows =
+  let query_log =
+    Arg.(value & opt (some string) None & info [ "query-log" ] ~docv:"FILE"
+           ~doc:"Append one holiwin-qlog/1 JSONL record per query to FILE \
+                 (rotating to FILE.1 by size).")
+  in
+  let run table_spec script max_rows query_log =
     try
       let name, table = load_table table_spec in
       let module Sql = Holistic_sql.Sql in
       let session = Sql.session_create table in
+      let sink = Option.map (fun p -> Sql.Query_stats.Log.open_ p) query_log in
       let interactive = script = None && Unix.isatty Unix.stdin in
       let ic = match script with Some path -> open_in path | None -> stdin in
       let stats () =
@@ -268,7 +369,7 @@ let session_cmd =
             let sql = if String.length line >= 6 && String.sub line 0 6 = "select" then line
                       else snd (split_cmd line) in
             let t0 = Unix.gettimeofday () in
-            let result = Sql.session_query ~name session sql in
+            let result = Sql.session_query ?query_log:sink ~name session sql in
             let dt = Unix.gettimeofday () -. t0 in
             Table.print ~max_rows result;
             Printf.printf "%d rows in %.3f s\n" (Table.nrows result) dt
@@ -285,7 +386,12 @@ let session_cmd =
             Printf.printf "evicted %d rows\n"
               (before - Table.nrows (Sql.session_table session));
             stats ()
-        | "stats", _ -> stats ()
+        | "stats", _ ->
+            stats ();
+            print_string (Sql.Session.render_stats (Sql.Session.stats session))
+        | "metrics", _ ->
+            print_string
+              (Holistic_obs.Obs.Metrics.to_prometheus (Holistic_obs.Obs.Metrics.snapshot ()))
         | ("help" | "?"), _ ->
             print_string
               "commands:\n\
@@ -293,7 +399,8 @@ let session_cmd =
               \  explain SQL         EXPLAIN ANALYZE with cache provenance tags\n\
               \  append SRC          append rows (file.csv or generator:rows)\n\
               \  evict PRED          evict rows matching a predicate\n\
-              \  stats               epoch, rows, cache footprint, build counters\n\
+              \  stats               epoch, rows, footprint, per-key structures, reuse tallies\n\
+              \  metrics             Prometheus snapshot of every registered metric\n\
               \  quit                exit\n"
         | cmd, _ -> Printf.eprintf "unknown command %S (try: help)\n" cmd
       in
@@ -321,6 +428,7 @@ let session_cmd =
         Printf.printf "session over %S (%d rows); type 'help' for commands\n" name
           (Table.nrows table);
       loop ();
+      Option.iter Sql.Query_stats.Log.close sink;
       if script <> None then close_in ic;
       0
     with Failure msg | Invalid_argument msg | Sys_error msg ->
@@ -331,10 +439,11 @@ let session_cmd =
     (Cmd.info "session"
        ~doc:"Open a persistent session over one table: cached window structures survive \
              across queries and are incrementally maintained by appends and evictions")
-    Term.(const run $ table_spec $ script $ max_rows)
+    Term.(const run $ table_spec $ script $ max_rows $ query_log)
 
 let () =
   let doc = "Arbitrarily-framed holistic window aggregates (merge sort trees)" in
   exit
     (Cmd.eval'
-       (Cmd.group (Cmd.info "holiwin" ~doc) [ gen_cmd; query_cmd; explain_cmd; session_cmd ]))
+       (Cmd.group (Cmd.info "holiwin" ~doc)
+          [ gen_cmd; query_cmd; explain_cmd; metrics_cmd; session_cmd ]))

@@ -115,18 +115,20 @@ let record_bytes f =
     | [] -> ()
 
 module Counter = struct
-  type t = { name : string; cell : int Atomic.t }
+  type t = { name : string; mutable help : string; cell : int Atomic.t }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 32
   let reg_mutex = Mutex.create ()
 
-  let make name =
+  let make ?(help = "") name =
     Mutex.lock reg_mutex;
     let c =
       match Hashtbl.find_opt registry name with
-      | Some c -> c
+      | Some c ->
+          if help <> "" then c.help <- help;
+          c
       | None ->
-          let c = { name; cell = Atomic.make 0 } in
+          let c = { name; help; cell = Atomic.make 0 } in
           Hashtbl.add registry name c;
           c
     in
@@ -134,6 +136,7 @@ module Counter = struct
     c
 
   let name c = c.name
+  let help c = c.help
   let add_always c n = if n <> 0 then ignore (Atomic.fetch_and_add c.cell n)
   let add c n = if Atomic.get enabled_flag then add_always c n
   let incr c = add c 1
@@ -150,6 +153,62 @@ module Counter = struct
     Mutex.lock reg_mutex;
     Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry;
     Mutex.unlock reg_mutex
+
+  let inventory () =
+    Mutex.lock reg_mutex;
+    let all = Hashtbl.fold (fun n c acc -> (n, c.help, Atomic.get c.cell) :: acc) registry [] in
+    Mutex.unlock reg_mutex;
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) all
+end
+
+(* Pull-model gauges: a registered name plus a sampling callback, read
+   only at snapshot time.  Unlike counters and histograms nothing in the
+   query path ever touches a gauge, so their disabled-mode cost is
+   exactly zero.  Re-registering a name replaces the callback — a fresh
+   [Session] takes over the session.* gauges from a previous one (the CLI
+   runs one session per process; with several, the scrape reflects the
+   most recently created). *)
+module Gauge = struct
+  type t = { name : string; mutable help : string; mutable read : unit -> int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+  let reg_mutex = Mutex.create ()
+
+  let register ?(help = "") name read =
+    Mutex.lock reg_mutex;
+    let g =
+      match Hashtbl.find_opt registry name with
+      | Some g ->
+          if help <> "" then g.help <- help;
+          g.read <- read;
+          g
+      | None ->
+          let g = { name; help; read } in
+          Hashtbl.add registry name g;
+          g
+    in
+    Mutex.unlock reg_mutex;
+    g
+
+  let name g = g.name
+  let help g = g.help
+
+  (* A gauge whose callback raises reads as 0 rather than poisoning the
+     whole scrape (e.g. a callback closed over a resource that has since
+     been torn down). *)
+  let value g = try g.read () with _ -> 0
+
+  let entries () =
+    Mutex.lock reg_mutex;
+    let all = Hashtbl.fold (fun _ g acc -> g :: acc) registry [] in
+    Mutex.unlock reg_mutex;
+    List.sort (fun a b -> String.compare a.name b.name) all
+
+  (* Callbacks are sampled outside the registry mutex so a callback that
+     itself registers a gauge cannot deadlock. *)
+  let snapshot () = List.map (fun g -> (g.name, value g)) (entries ())
+
+  let inventory () = List.map (fun g -> (g.name, g.help, value g)) (entries ())
 end
 
 module Histogram = struct
@@ -182,6 +241,7 @@ module Histogram = struct
 
   type t = {
     name : string;
+    mutable help : string;
     counts : int array;
     mutable n : int;
     mutable sum : int;
@@ -203,15 +263,18 @@ module Histogram = struct
   let registry : (string, t) Hashtbl.t = Hashtbl.create 16
   let reg_mutex = Mutex.create ()
 
-  let make name =
+  let make ?(help = "") name =
     Mutex.lock reg_mutex;
     let h =
       match Hashtbl.find_opt registry name with
-      | Some h -> h
+      | Some h ->
+          if help <> "" then h.help <- help;
+          h
       | None ->
           let h =
             {
               name;
+              help;
               counts = Array.make bucket_count 0;
               n = 0;
               sum = 0;
@@ -227,6 +290,7 @@ module Histogram = struct
     h
 
   let name h = h.name
+  let help h = h.help
 
   let add_always h v =
     let v = if v < 0 then 0 else v in
@@ -244,18 +308,20 @@ module Histogram = struct
   let count h = h.n
 
   (* Smallest recorded value whose cumulative count reaches [q * n],
-     reported as its bucket's lower bound (exact for values < 16). *)
-  let quantile_locked h q =
-    if h.n = 0 then 0
+     reported as its bucket's lower bound (exact for values < 16).
+     Factored over raw bucket state so the windowed variant below can
+     reuse the exact same arithmetic on merged slot counts. *)
+  let quantile_of ~counts ~n ~min_v ~max_v q =
+    if n = 0 then 0
     else begin
       let target =
-        let t = int_of_float (ceil (q *. float_of_int h.n)) in
-        if t < 1 then 1 else if t > h.n then h.n else t
+        let t = int_of_float (ceil (q *. float_of_int n)) in
+        if t < 1 then 1 else if t > n then n else t
       in
       let acc = ref 0 and b = ref 0 and found = ref (bucket_count - 1) in
       (try
          while !b < bucket_count do
-           acc := !acc + h.counts.(!b);
+           acc := !acc + counts.(!b);
            if !acc >= target then begin
              found := !b;
              raise Exit
@@ -264,8 +330,10 @@ module Histogram = struct
          done
        with Exit -> ());
       let lo = bucket_lower_bound !found in
-      if lo > h.max_v then h.max_v else if lo < h.min_v then h.min_v else lo
+      if lo > max_v then max_v else if lo < min_v then min_v else lo
     end
+
+  let quantile_locked h q = quantile_of ~counts:h.counts ~n:h.n ~min_v:h.min_v ~max_v:h.max_v q
 
   let quantile h q =
     Mutex.lock h.lock;
@@ -273,16 +341,18 @@ module Histogram = struct
     Mutex.unlock h.lock;
     v
 
-  let summarise_locked h =
+  let summary_of ~counts ~n ~sum ~min_v ~max_v =
     {
-      count = h.n;
-      sum = h.sum;
-      min = (if h.n = 0 then 0 else h.min_v);
-      max = (if h.n = 0 then 0 else h.max_v);
-      p50 = quantile_locked h 0.50;
-      p90 = quantile_locked h 0.90;
-      p99 = quantile_locked h 0.99;
+      count = n;
+      sum;
+      min = (if n = 0 then 0 else min_v);
+      max = (if n = 0 then 0 else max_v);
+      p50 = quantile_of ~counts ~n ~min_v ~max_v 0.50;
+      p90 = quantile_of ~counts ~n ~min_v ~max_v 0.90;
+      p99 = quantile_of ~counts ~n ~min_v ~max_v 0.99;
     }
+
+  let summarise_locked h = summary_of ~counts:h.counts ~n:h.n ~sum:h.sum ~min_v:h.min_v ~max_v:h.max_v
 
   let summary h =
     Mutex.lock h.lock;
@@ -326,6 +396,203 @@ module Histogram = struct
     Mutex.lock reg_mutex;
     Hashtbl.iter (fun _ h -> reset h) registry;
     Mutex.unlock reg_mutex
+
+  let inventory () =
+    Mutex.lock reg_mutex;
+    let all = Hashtbl.fold (fun n h acc -> (n, h) :: acc) registry [] in
+    Mutex.unlock reg_mutex;
+    List.map
+      (fun (n, h) -> (n, h.help, summary h))
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) all)
+end
+
+(* Sliding-window histograms: a ring of [slots] log-bucketed histograms,
+   each covering one fixed slice of the window (a span of nanoseconds or
+   of recorded events).  Recording lands in the slice the sample belongs
+   to; when the ring wraps onto an expired slice, that slice's buckets
+   are zeroed in one O(bucket_count) pass — the same wholesale-eviction
+   idea the engine's own sliding frames use (bulk evictions instead of
+   per-sample deletions), applied to its latency stream.  Summaries merge
+   only the slices still inside the window, so quantiles cover "the last
+   N seconds" / "the last k queries" with at most one slice of slack.
+   [add] keeps the one-atomic-load disabled contract of {!Counter.add}. *)
+module Windowed_histogram = struct
+  type window = Last_ns of int | Last_events of int
+
+  type t = {
+    name : string;
+    mutable help : string;
+    window : window;
+    slots : int;
+    per_slot : int;  (* ns or events covered by one slot *)
+    counts : int array;  (* slots * bucket_count, flattened *)
+    slot_n : int array;
+    slot_sum : int array;
+    slot_min : int array;
+    slot_max : int array;
+    slot_gen : int array;  (* absolute slice index held by each ring slot, -1 empty *)
+    mutable events : int;  (* total adds ever; drives event-based windows *)
+    mutable evicted : int;  (* expired slices bulk-zeroed so far *)
+    lock : Mutex.t;
+  }
+
+  let bucket_count = Histogram.bucket_count
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+  let reg_mutex = Mutex.create ()
+
+  let make ?(help = "") ?(slots = 16) ~window name =
+    Mutex.lock reg_mutex;
+    let w =
+      match Hashtbl.find_opt registry name with
+      | Some w ->
+          if help <> "" then w.help <- help;
+          w
+      | None ->
+          let slots = max 2 slots in
+          let span = match window with Last_ns n -> n | Last_events n -> n in
+          let w =
+            {
+              name;
+              help;
+              window;
+              slots;
+              per_slot = max 1 (span / slots);
+              counts = Array.make (slots * bucket_count) 0;
+              slot_n = Array.make slots 0;
+              slot_sum = Array.make slots 0;
+              slot_min = Array.make slots max_int;
+              slot_max = Array.make slots min_int;
+              slot_gen = Array.make slots (-1);
+              events = 0;
+              evicted = 0;
+              lock = Mutex.create ();
+            }
+          in
+          Hashtbl.add registry name w;
+          w
+    in
+    Mutex.unlock reg_mutex;
+    w
+
+  let name w = w.name
+  let help w = w.help
+  let window w = w.window
+
+  let window_label w =
+    match w.window with
+    | Last_events n -> Printf.sprintf "%dev" n
+    | Last_ns n ->
+        if n mod 1_000_000_000 = 0 then Printf.sprintf "%ds" (n / 1_000_000_000)
+        else Printf.sprintf "%dms" (n / 1_000_000)
+
+  (* Absolute slice index a new sample belongs to, given the clock (time
+     windows) or the running event count (event windows). *)
+  let slice_of_add w ~now_ns = match w.window with
+    | Last_ns _ -> now_ns / w.per_slot
+    | Last_events _ -> w.events / w.per_slot
+
+  (* Newest slice that can still hold live data at summary time.  For
+     event windows time does not age data out: the newest slice is the
+     one of the most recent add. *)
+  let slice_of_now w ~now_ns = match w.window with
+    | Last_ns _ -> now_ns / w.per_slot
+    | Last_events _ -> if w.events = 0 then -1 else (w.events - 1) / w.per_slot
+
+  let evict_slot w ring =
+    Array.fill w.counts (ring * bucket_count) bucket_count 0;
+    w.slot_n.(ring) <- 0;
+    w.slot_sum.(ring) <- 0;
+    w.slot_min.(ring) <- max_int;
+    w.slot_max.(ring) <- min_int;
+    w.evicted <- w.evicted + 1
+
+  let add_always_at w ~now_ns v =
+    let v = if v < 0 then 0 else v in
+    Mutex.lock w.lock;
+    let slice = slice_of_add w ~now_ns in
+    let ring = slice mod w.slots in
+    if w.slot_gen.(ring) <> slice then begin
+      if w.slot_gen.(ring) >= 0 then evict_slot w ring;
+      w.slot_gen.(ring) <- slice
+    end;
+    let b = Histogram.bucket_of_value v in
+    w.counts.((ring * bucket_count) + b) <- w.counts.((ring * bucket_count) + b) + 1;
+    w.slot_n.(ring) <- w.slot_n.(ring) + 1;
+    w.slot_sum.(ring) <- w.slot_sum.(ring) + v;
+    if v < w.slot_min.(ring) then w.slot_min.(ring) <- v;
+    if v > w.slot_max.(ring) then w.slot_max.(ring) <- v;
+    w.events <- w.events + 1;
+    Mutex.unlock w.lock
+
+  let add_always w v = add_always_at w ~now_ns:(now_ns ()) v
+  let add w v = if Atomic.get enabled_flag then add_always w v
+
+  (* Merge the live slices into one flat bucket array under the lock. *)
+  let merge_live w ~now_ns =
+    Mutex.lock w.lock;
+    let newest = slice_of_now w ~now_ns in
+    let oldest_live = newest - w.slots + 1 in
+    let merged = Array.make bucket_count 0 in
+    let n = ref 0 and sum = ref 0 and min_v = ref max_int and max_v = ref min_int in
+    for ring = 0 to w.slots - 1 do
+      let gen = w.slot_gen.(ring) in
+      if gen >= oldest_live && gen <= newest && w.slot_n.(ring) > 0 then begin
+        let base = ring * bucket_count in
+        for b = 0 to bucket_count - 1 do
+          merged.(b) <- merged.(b) + w.counts.(base + b)
+        done;
+        n := !n + w.slot_n.(ring);
+        sum := !sum + w.slot_sum.(ring);
+        if w.slot_min.(ring) < !min_v then min_v := w.slot_min.(ring);
+        if w.slot_max.(ring) > !max_v then max_v := w.slot_max.(ring)
+      end
+    done;
+    Mutex.unlock w.lock;
+    (merged, !n, !sum, !min_v, !max_v)
+
+  let summary_at w ~now_ns =
+    let counts, n, sum, min_v, max_v = merge_live w ~now_ns in
+    Histogram.summary_of ~counts ~n ~sum ~min_v ~max_v
+
+  let summary w = summary_at w ~now_ns:(now_ns ())
+
+  let quantile_at w ~now_ns q =
+    let counts, n, _, min_v, max_v = merge_live w ~now_ns in
+    Histogram.quantile_of ~counts ~n ~min_v ~max_v q
+
+  let quantile w q = quantile_at w ~now_ns:(now_ns ()) q
+  let events w = w.events
+  let evictions w = w.evicted
+
+  let reset w =
+    Mutex.lock w.lock;
+    Array.fill w.counts 0 (w.slots * bucket_count) 0;
+    Array.fill w.slot_n 0 w.slots 0;
+    Array.fill w.slot_sum 0 w.slots 0;
+    Array.fill w.slot_min 0 w.slots max_int;
+    Array.fill w.slot_max 0 w.slots min_int;
+    Array.fill w.slot_gen 0 w.slots (-1);
+    w.events <- 0;
+    w.evicted <- 0;
+    Mutex.unlock w.lock
+
+  let entries () =
+    Mutex.lock reg_mutex;
+    let all = Hashtbl.fold (fun _ w acc -> w :: acc) registry [] in
+    Mutex.unlock reg_mutex;
+    List.sort (fun a b -> String.compare a.name b.name) all
+
+  let snapshot () =
+    List.filter_map
+      (fun w ->
+        let s = summary w in
+        if s.Histogram.count = 0 then None else Some (w.name, s))
+      (entries ())
+
+  let inventory () = List.map (fun w -> (w.name, w.help, window_label w, summary w)) (entries ())
+
+  let reset_all () = List.iter reset (entries ())
 end
 
 type trace = {
@@ -590,3 +857,177 @@ let write_chrome_trace path tr =
   let oc = open_out path in
   output_string oc (to_chrome_json tr);
   close_out oc
+
+(* Clear only the span buffer, leaving cumulative counters, histograms and
+   windowed histograms untouched — the query-log collector enables tracing
+   per query and must not wipe the process-lifetime registries the metrics
+   endpoint exports (unlike [reset]). *)
+let clear_spans () =
+  Mutex.lock buf_mutex;
+  buf := [];
+  buf_len := 0;
+  buf_dropped := 0;
+  Mutex.unlock buf_mutex
+
+(* Live memory gauge: major-heap size sampled at scrape time.  Cheap
+   ([Gc.quick_stat] reads tallies, no heap walk) and genuinely current,
+   unlike the cumulative [mem.structure_bytes] counter. *)
+let _heap_gauge =
+  Gauge.register ~help:"Major heap bytes currently held by the runtime" "mem.heap_bytes"
+    (fun () -> (Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8))
+
+(* --- metrics snapshot & export --------------------------------------- *)
+
+module Metrics = struct
+  type t = {
+    counters : (string * string * int) list;
+    gauges : (string * string * int) list;
+    histograms : (string * string * Histogram.summary) list;
+    windows : (string * string * string * Histogram.summary) list;
+  }
+
+  let snapshot () =
+    {
+      counters = Counter.inventory ();
+      gauges = Gauge.inventory ();
+      histograms = Histogram.inventory ();
+      windows = Windowed_histogram.inventory ();
+    }
+
+  let filter pred s =
+    {
+      counters = List.filter (fun (n, _, _) -> pred n) s.counters;
+      gauges = List.filter (fun (n, _, _) -> pred n) s.gauges;
+      histograms = List.filter (fun (n, _, _) -> pred n) s.histograms;
+      windows = List.filter (fun (n, _, _, _) -> pred n) s.windows;
+    }
+
+  (* Every (kind, name, help) in the snapshot — the help-string lint
+     iterates this. *)
+  let inventory s =
+    List.map (fun (n, h, _) -> ("counter", n, h)) s.counters
+    @ List.map (fun (n, h, _) -> ("gauge", n, h)) s.gauges
+    @ List.map (fun (n, h, _) -> ("histogram", n, h)) s.histograms
+    @ List.map (fun (n, h, _, _) -> ("windowed_histogram", n, h)) s.windows
+
+  (* Dotted registry names become a legal Prometheus metric name under a
+     common prefix: [cache.hit] -> [holiwin_cache_hit]. *)
+  let prom_name n =
+    "holiwin_"
+    ^ String.map
+        (fun c ->
+          match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+        n
+
+  let prom_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let to_prometheus ?stamp_ms s =
+    let b = Buffer.create 4096 in
+    (match stamp_ms with
+    | Some ms -> Buffer.add_string b (Printf.sprintf "# holiwin metrics snapshot unix_ms=%d\n" ms)
+    | None -> ());
+    let header name help ty =
+      if help <> "" then
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (prom_escape help));
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name ty)
+    in
+    List.iter
+      (fun (n, h, v) ->
+        let pn = prom_name n in
+        header pn h "counter";
+        Buffer.add_string b (Printf.sprintf "%s %d\n" pn v))
+      s.counters;
+    List.iter
+      (fun (n, h, v) ->
+        let pn = prom_name n in
+        header pn h "gauge";
+        Buffer.add_string b (Printf.sprintf "%s %d\n" pn v))
+      s.gauges;
+    let summary_lines pn labels (sm : Histogram.summary) =
+      let lbl extra =
+        match labels @ extra with
+        | [] -> ""
+        | kvs ->
+            "{"
+            ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) kvs)
+            ^ "}"
+      in
+      List.iter
+        (fun (q, v) ->
+          Buffer.add_string b (Printf.sprintf "%s%s %d\n" pn (lbl [ ("quantile", q) ]) v))
+        [ ("0.5", sm.Histogram.p50); ("0.9", sm.Histogram.p90); ("0.99", sm.Histogram.p99) ];
+      Buffer.add_string b (Printf.sprintf "%s_sum%s %d\n" pn (lbl []) sm.Histogram.sum);
+      Buffer.add_string b (Printf.sprintf "%s_count%s %d\n" pn (lbl []) sm.Histogram.count)
+    in
+    List.iter
+      (fun (n, h, sm) ->
+        let pn = prom_name n in
+        header pn h "summary";
+        summary_lines pn [] sm)
+      s.histograms;
+    List.iter
+      (fun (n, h, wl, sm) ->
+        let pn = prom_name n in
+        header pn h "summary";
+        summary_lines pn [ ("window", wl) ] sm)
+      s.windows;
+    Buffer.contents b
+
+  let to_json ?stamp_ms s =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"schema\":\"holiwin-metrics/1\"";
+    (match stamp_ms with
+    | Some ms -> Buffer.add_string b (Printf.sprintf ",\"taken_unix_ms\":%d" ms)
+    | None -> ());
+    let obj name fields =
+      Buffer.add_string b (Printf.sprintf ",\"%s\":{" (json_escape name));
+      List.iteri
+        (fun i f ->
+          if i > 0 then Buffer.add_char b ',';
+          f ())
+        fields;
+      Buffer.add_char b '}'
+    in
+    let scalar_section section items =
+      obj section
+        (List.map
+           (fun (n, h, v) () ->
+             Buffer.add_string b
+               (Printf.sprintf "\"%s\":{\"help\":\"%s\",\"value\":%d}" (json_escape n)
+                  (json_escape h) v))
+           items)
+    in
+    scalar_section "counters" s.counters;
+    scalar_section "gauges" s.gauges;
+    let summary_fields ?window h (sm : Histogram.summary) =
+      Printf.sprintf "\"help\":\"%s\",%s\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"p50\":%d,\"p90\":%d,\"p99\":%d"
+        (json_escape h)
+        (match window with
+        | Some w -> Printf.sprintf "\"window\":\"%s\"," (json_escape w)
+        | None -> "")
+        sm.Histogram.count sm.Histogram.sum sm.Histogram.min sm.Histogram.max sm.Histogram.p50
+        sm.Histogram.p90 sm.Histogram.p99
+    in
+    obj "histograms"
+      (List.map
+         (fun (n, h, sm) () ->
+           Buffer.add_string b (Printf.sprintf "\"%s\":{%s}" (json_escape n) (summary_fields h sm)))
+         s.histograms);
+    obj "windows"
+      (List.map
+         (fun (n, h, wl, sm) () ->
+           Buffer.add_string b
+             (Printf.sprintf "\"%s\":{%s}" (json_escape n) (summary_fields ~window:wl h sm)))
+         s.windows);
+    Buffer.add_char b '}';
+    Buffer.contents b
+end

@@ -45,11 +45,17 @@ val record_bytes : (unit -> int) -> unit
 module Counter : sig
   type t
 
-  val make : string -> t
+  val make : ?help:string -> string -> t
   (** Find-or-create the counter registered under this name.  Counters
-      are process-wide; [make] at module-initialisation time is free. *)
+      are process-wide; [make] at module-initialisation time is free.
+      [help] is the metric's description for the metrics exporter; a
+      non-empty [help] on a later [make] of the same name replaces the
+      stored one (so find-or-create callers without a description never
+      erase it). *)
 
   val name : t -> string
+
+  val help : t -> string
 
   val add : t -> int -> unit
   (** Gated: no-op while tracing is disabled. *)
@@ -88,10 +94,13 @@ module Histogram : sig
     p99 : int;
   }
 
-  val make : string -> t
-  (** Find-or-create the histogram registered under this name. *)
+  val make : ?help:string -> string -> t
+  (** Find-or-create the histogram registered under this name; [help] as
+      in {!Counter.make}. *)
 
   val name : t -> string
+
+  val help : t -> string
 
   val add : t -> int -> unit
   (** Gated: no-op while tracing is disabled (same one-atomic-load fast
@@ -133,6 +142,97 @@ module Histogram : sig
   (**/**)
 end
 
+module Gauge : sig
+  (** Pull-model gauges: a registered name plus a sampling callback, read
+      only when a metrics snapshot is taken.  Nothing in the query path
+      touches a gauge, so their disabled-mode cost is exactly zero.
+      Re-registering a name replaces the callback (last registration
+      wins) — e.g. each new [Session] takes over the [session.*] gauges. *)
+
+  type t
+
+  val register : ?help:string -> string -> (unit -> int) -> t
+  (** [register name read] registers (or re-points) the gauge [name] at
+      the callback [read].  [help] as in {!Counter.make}. *)
+
+  val name : t -> string
+  val help : t -> string
+
+  val value : t -> int
+  (** Sample the callback now.  A raising callback reads as 0. *)
+
+  val snapshot : unit -> (string * int) list
+  (** All registered gauges sampled now, sorted by name.  Callbacks run
+      outside the registry lock. *)
+end
+
+module Windowed_histogram : sig
+  (** Sliding-window latency quantiles: a ring of [slots] log-bucketed
+      histogram slices, each covering a fixed span of nanoseconds
+      ({!Last_ns}) or of recorded events ({!Last_events}).  When the ring
+      wraps onto an expired slice its buckets are zeroed in one
+      O(bucket_count) pass — bulk eviction, never per-sample deletion —
+      and summaries merge only the slices still inside the window, so
+      p50/p90/p99 cover "the last N seconds" / "the last k events" with
+      at most one slice of slack.  Same bucketing (and therefore the same
+      conservative quantile semantics) as {!Histogram}; {!add} keeps the
+      one-atomic-load disabled contract. *)
+
+  type t
+
+  type window =
+    | Last_ns of int  (** window covers this many trailing nanoseconds *)
+    | Last_events of int  (** window covers this many trailing records *)
+
+  val make : ?help:string -> ?slots:int -> window:window -> string -> t
+  (** Find-or-create.  [slots] (default 16, min 2) is the ring size; each
+      slice covers [window / slots], so a larger [slots] trades memory
+      (960 buckets per slice) for finer expiry granularity.  The window
+      of an existing registration is kept. *)
+
+  val name : t -> string
+  val help : t -> string
+  val window : t -> window
+
+  val window_label : t -> string
+  (** ["30s"], ["1500ms"], ["1024ev"] — the [window] label the exporter
+      attaches to this metric's samples. *)
+
+  val add : t -> int -> unit
+  (** Gated: no-op while tracing is disabled (one atomic load — no clock
+      read, no lock). *)
+
+  val add_always : t -> int -> unit
+  (** Ungated: always records, stamping the sample with {!now_ns}. *)
+
+  val add_always_at : t -> now_ns:int -> int -> unit
+  (** Ungated record with an explicit clock reading — deterministic
+      expiry for tests.  Event-count windows ignore the clock. *)
+
+  val summary : t -> Histogram.summary
+  (** Merged summary of the slices inside the window as of now.  Slices
+      that aged out without being overwritten are excluded (time windows
+      expire by clock even when no new samples arrive). *)
+
+  val summary_at : t -> now_ns:int -> Histogram.summary
+  val quantile : t -> float -> int
+  val quantile_at : t -> now_ns:int -> float -> int
+
+  val events : t -> int
+  (** Total records ever added (not just those still in the window). *)
+
+  val evictions : t -> int
+  (** Expired slices bulk-zeroed so far. *)
+
+  val reset : t -> unit
+
+  val snapshot : unit -> (string * Histogram.summary) list
+  (** All registered windowed histograms with a non-empty live window,
+      sorted by name. *)
+
+  val reset_all : unit -> unit
+end
+
 type span = {
   id : int;
   parent : int;  (** -1 for roots *)
@@ -158,6 +258,12 @@ val capture : unit -> trace
 val reset : unit -> unit
 (** Clear the span buffer, zero every registered counter and reset every
     registered histogram. *)
+
+val clear_spans : unit -> unit
+(** Clear only the bounded span buffer, leaving counters, histograms and
+    windowed histograms untouched — for collectors (the query log) that
+    enable tracing per query without wiping the process-lifetime
+    registries the metrics endpoint exports. *)
 
 val with_capture : (unit -> 'a) -> 'a * trace
 (** [with_capture f]: reset, enable, run [f], capture, restore the
@@ -189,6 +295,10 @@ val render : trace -> string
     ["%.1f kw"] so tests can mask them with a regexp; structure bytes are
     deterministic and left unmasked. *)
 
+val json_escape : string -> string
+(** JSON string-content escaping (quotes, backslash, control characters)
+    shared by the Chrome export, the metrics JSON and the query log. *)
+
 val to_chrome_json : trace -> string
 (** Chrome [trace_event] JSON (open in chrome://tracing or Perfetto):
     spans as ph="X" complete events with tid = domain id and
@@ -196,3 +306,46 @@ val to_chrome_json : trace -> string
     event. *)
 
 val write_chrome_trace : string -> trace -> unit
+
+module Metrics : sig
+  (** One coherent snapshot of every registered metric — counters,
+      sampled gauges, cumulative histograms and windowed histograms, each
+      with its help string — renderable as Prometheus text exposition or
+      as a [holiwin-metrics/1] JSON document.  Surfaced by the
+      [holiwin metrics] subcommand and the session REPL. *)
+
+  type t = {
+    counters : (string * string * int) list;  (** name, help, value *)
+    gauges : (string * string * int) list;
+    histograms : (string * string * Histogram.summary) list;
+    windows : (string * string * string * Histogram.summary) list;
+        (** name, help, window label, live-window summary *)
+  }
+
+  val snapshot : unit -> t
+  (** Sample everything now, each section sorted by name.  Unlike
+      {!capture} this includes zero counters and empty histograms —
+      a scrape endpoint exposes the full inventory. *)
+
+  val filter : (string -> bool) -> t -> t
+  (** Keep only metrics whose name satisfies the predicate (deterministic
+      goldens filter to a test-owned prefix). *)
+
+  val inventory : t -> (string * string * string) list
+  (** [(kind, name, help)] for every metric in the snapshot; the
+      help-string lint iterates this. *)
+
+  val to_prometheus : ?stamp_ms:int -> t -> string
+  (** Prometheus text exposition: dotted names are sanitised under a
+      [holiwin_] prefix, counters/gauges carry [# HELP]/[# TYPE] headers,
+      histograms render as summaries with [quantile] labels plus
+      [_sum]/[_count], windowed histograms add a [window="..."] label.
+      [stamp_ms] (wall clock, supplied by the caller — this library reads
+      only the monotonic clock) prepends a snapshot-time comment. *)
+
+  val to_json : ?stamp_ms:int -> t -> string
+  (** The same snapshot as a single-line [holiwin-metrics/1] JSON object:
+      [{"schema":"holiwin-metrics/1","counters":{name:{help,value}},
+      "gauges":{...},"histograms":{name:{help,count,sum,min,max,p50,p90,
+      p99}},"windows":{name:{...,"window":label}}}]. *)
+end

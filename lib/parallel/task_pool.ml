@@ -5,10 +5,10 @@ let default_task_size = 20_000
 (* Registered observability counters (process-wide, shared by all pools).
    [Obs.Counter.add] is gated on tracing being enabled, so the disabled
    path pays nothing beyond the branch inside [exec]. *)
-let c_tasks = Obs.Counter.make "pool.tasks"
-let c_busy = Obs.Counter.make "pool.busy_ns"
-let c_wait = Obs.Counter.make "pool.wait_ns"
-let c_queue_wait = Obs.Counter.make "pool.queue_wait_ns"
+let c_tasks = Obs.Counter.make ~help:"Tasks executed by the shared worker pool" "pool.tasks"
+let c_busy = Obs.Counter.make ~help:"Nanoseconds pool workers spent running tasks" "pool.busy_ns"
+let c_wait = Obs.Counter.make ~help:"Nanoseconds pool workers spent idle waiting for work" "pool.wait_ns"
+let c_queue_wait = Obs.Counter.make ~help:"Nanoseconds tasks spent queued before a worker picked them up" "pool.queue_wait_ns"
 
 type worker_stat = { mutable tasks : int; mutable busy_ns : int; mutable wait_ns : int }
 
@@ -339,3 +339,14 @@ let default () =
       let p = create n in
       default_pool := Some p;
       p
+
+(* Sampled at metrics-snapshot time only; reports the size the default
+   pool has (or would be created with), without forcing its creation. *)
+let _domains_gauge =
+  Obs.Gauge.register ~help:"Worker domains of the default task pool" "pool.domains" (fun () ->
+      match !default_pool with
+      | Some p -> p.n
+      | None -> (
+          match domains_from_env () with
+          | Some n -> n
+          | None -> Domain.recommended_domain_count ()))

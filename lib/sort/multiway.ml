@@ -149,8 +149,8 @@ let compare_positions mw =
    settled by the codes alone, [scanned] compares that had to read key
    words. Accumulated locally per merge and flushed once, so parallel
    segment merges do not contend. *)
-let ovc_decided_count = Obs.Counter.make "sort.ovc_decided"
-let ovc_scanned_count = Obs.Counter.make "sort.ovc_scanned"
+let ovc_decided_count = Obs.Counter.make ~help:"Merge comparisons decided by offset-value codes alone" "sort.ovc_decided"
+let ovc_scanned_count = Obs.Counter.make ~help:"Merge comparisons that fell back to scanning key bytes" "sort.ovc_scanned"
 let ovc_stats () = (Obs.Counter.value ovc_decided_count, Obs.Counter.value ovc_scanned_count)
 
 let reset_ovc_stats () =

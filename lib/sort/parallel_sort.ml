@@ -5,7 +5,7 @@ module Obs = Holistic_obs.Obs
    phase.  Counted separately from [mem.structure_bytes] because the
    total depends on pool size and run count, so it must not feed the
    deterministic structure tally that goldens and the bench gate check. *)
-let c_scratch_bytes = Obs.Counter.make "sort.scratch_bytes"
+let c_scratch_bytes = Obs.Counter.make ~help:"Bytes of sort scratch space (normalized keys, merge buffers) allocated" "sort.scratch_bytes"
 
 let note_scratch n =
   Obs.Counter.add c_scratch_bytes (8 * 2 * n);
@@ -163,8 +163,8 @@ let sort_encoded pool ?task_size ~n ~words ?tie () =
 (* External sort counters: total bytes written to spill run files and
    number of run files formed. Always on ([add_always]) because the bench
    gate asserts spill engagement through them. *)
-let c_spill_bytes = Obs.Counter.make "sort.spill_bytes"
-let c_spill_runs = Obs.Counter.make "sort.spill_runs"
+let c_spill_bytes = Obs.Counter.make ~help:"Bytes written to disk as spilled sort runs" "sort.spill_bytes"
+let c_spill_runs = Obs.Counter.make ~help:"Sorted runs spilled to disk by the out-of-core sort" "sort.spill_runs"
 
 module Run_file = Holistic_storage.Run_file
 

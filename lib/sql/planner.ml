@@ -260,8 +260,8 @@ let lower_call table (c : Ast.window_call) : Wf.func =
 (* Query execution                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor ?mem_limit ?session
-    ~tables (q : Ast.query) =
+let run_with_stats ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor ?mem_limit
+    ?session ~tables (q : Ast.query) =
   let table =
     match List.assoc_opt q.Ast.from tables with
     | Some t -> t
@@ -349,6 +349,7 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor ?mem_li
   let clauses =
     List.map (fun (spec, items) -> { Window_plan.spec; items = List.rev !items }) !clauses
   in
+  let plan_stats = ref None in
   let with_windows =
     if clauses = [] then table
     else
@@ -357,8 +358,12 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor ?mem_li
          clause materialises a filtered copy, so filtered queries fall
          through to the stateless path untouched. *)
       Obs.span "sql.window" (fun () ->
-          Window_plan.run ?pool ?fanout ?sample ?task_size ?evaluator ?governor ?mem_limit
-            ?session table clauses)
+          let t, st =
+            Window_plan.run_with_stats ?pool ?fanout ?sample ?task_size ?evaluator ?governor
+              ?mem_limit ?session table clauses
+          in
+          plan_stats := Some st;
+          t)
   in
   (* projection: base columns for window outputs, fresh columns for exprs *)
   let out_columns =
@@ -412,6 +417,15 @@ let run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor ?mem_li
       Table.gather result perm
     end
   in
-  match q.Ast.limit with
-  | None -> result
-  | Some k -> Table.gather result (Array.init (min k (Table.nrows result)) (fun i -> i))
+  let result =
+    match q.Ast.limit with
+    | None -> result
+    | Some k -> Table.gather result (Array.init (min k (Table.nrows result)) (fun i -> i))
+  in
+  (result, !plan_stats)
+
+let run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor ?mem_limit ?session
+    ~tables q =
+  fst
+    (run_with_stats ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor ?mem_limit
+       ?session ~tables q)

@@ -37,3 +37,21 @@ val run :
     table and no WHERE clause filters it (see
     {!Holistic_window.Window_plan.run}).
     @raise Error on unknown tables/columns/functions or malformed calls. *)
+
+val run_with_stats :
+  ?pool:Holistic_parallel.Task_pool.t ->
+  ?fanout:int ->
+  ?sample:int ->
+  ?task_size:int ->
+  ?algorithm:Holistic_window.Window_func.algorithm ->
+  ?evaluator:Holistic_window.Evaluator_choice.name ->
+  ?governor:Holistic_window.Mem_governor.t ->
+  ?mem_limit:int ->
+  ?session:Holistic_window.Session.t ->
+  tables:(string * Table.t) list ->
+  Ast.query ->
+  Table.t * Holistic_window.Window_plan.stats option
+(** {!run} plus the window plan's sharing statistics ([None] when the
+    query has no window calls) — the sort/build provenance the query log
+    records per query. *)
+

@@ -2,16 +2,42 @@ exception Parse_error of string * int
 exception Semantic_error of string
 
 module Session = Holistic_window.Session
+module Query_stats = Holistic_window.Query_stats
+
+(* The environment sink ([HOLIWIN_QUERY_LOG]) is opened once, on the first
+   query, and shared by every call that doesn't pass its own sink. *)
+let env_sink = lazy (Query_stats.Log.of_env ())
 
 let query ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor ?mem_limit ?session
-    ~tables src =
+    ?query_log ~tables src =
   let ast =
     try Parser.parse src with Parser.Error (msg, off) -> raise (Parse_error (msg, off))
   in
-  try
-    Planner.run ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor ?mem_limit
-      ?session ~tables ast
-  with Planner.Error msg -> raise (Semantic_error msg)
+  let run () =
+    try
+      Planner.run_with_stats ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor
+        ?mem_limit ?session ~tables ast
+    with Planner.Error msg -> raise (Semantic_error msg)
+  in
+  let sink = match query_log with Some _ -> query_log | None -> Lazy.force env_sink in
+  match sink with
+  | Some sink ->
+      let rows_in =
+        match List.assoc_opt ast.Ast.from tables with
+        | Some t -> Holistic_storage.Table.nrows t
+        | None -> 0
+      in
+      let session_epoch = Option.map Session.epoch session in
+      let result, record = Query_stats.measure ~sql:src ?session_epoch ~rows_in run in
+      Query_stats.Log.append sink record;
+      result
+  | None ->
+      if Holistic_obs.Obs.enabled () then (
+        let t0 = Holistic_obs.Obs.now_ns () in
+        let result, _ = run () in
+        Query_stats.note_latency (Holistic_obs.Obs.now_ns () - t0);
+        result)
+      else fst (run ())
 
 (* ------------------------------------------------------------------ *)
 (* Sessions: persistent structure stores over one table                *)
@@ -20,8 +46,9 @@ let query ?pool ?fanout ?sample ?task_size ?algorithm ?evaluator ?governor ?mem_
 let session_create ?pool table = Session.create ?pool table
 let session_table = Session.table
 
-let session_query ?fanout ?sample ?task_size ?algorithm ?evaluator ?(name = "t") session src =
-  query ?fanout ?sample ?task_size ?algorithm ?evaluator ~session
+let session_query ?fanout ?sample ?task_size ?algorithm ?evaluator ?query_log ?(name = "t")
+    session src =
+  query ?fanout ?sample ?task_size ?algorithm ?evaluator ?query_log ~session
     ~tables:[ (name, Session.table session) ]
     src
 

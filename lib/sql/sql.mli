@@ -22,6 +22,10 @@ exception Semantic_error of string
 
 module Session = Holistic_window.Session
 
+module Query_stats = Holistic_window.Query_stats
+(** Per-query resource records and the [holiwin-qlog/1] JSONL query log;
+    see {!Holistic_window.Query_stats}. *)
+
 val query :
   ?pool:Holistic_parallel.Task_pool.t ->
   ?fanout:int ->
@@ -32,6 +36,7 @@ val query :
   ?governor:Holistic_window.Mem_governor.t ->
   ?mem_limit:int ->
   ?session:Session.t ->
+  ?query_log:Query_stats.Log.sink ->
   tables:(string * Table.t) list ->
   string ->
   Table.t
@@ -43,7 +48,11 @@ val query :
     --mem-limit flag and the [HOLIWIN_MEM_LIMIT] environment variable; see
     {!Holistic_window.Mem_governor}); [session] is a persistent
     structure store consulted and refilled when the FROM table is the
-    session's table and no WHERE clause filters it. *)
+    session's table and no WHERE clause filters it; [query_log] (or, when
+    absent, a sink opened once from [HOLIWIN_QUERY_LOG]) receives one
+    {!Query_stats.t} record per statement, collected with
+    {!Query_stats.measure}.  Without a sink the statement still feeds the
+    [sql.query_ns] latency histograms whenever tracing is enabled. *)
 
 (** {2 Sessions}
 
@@ -66,6 +75,7 @@ val session_query :
   ?task_size:int ->
   ?algorithm:Holistic_window.Window_func.algorithm ->
   ?evaluator:Holistic_window.Evaluator_choice.name ->
+  ?query_log:Query_stats.Log.sink ->
   ?name:string ->
   Session.t ->
   string ->

@@ -162,11 +162,11 @@ let advance t = t.epoch <- t.epoch + 1
    accounting — each freshly built structure reports its
    [footprint_bytes] to the open build span and to the deterministic
    [mem.structure_bytes] counter. *)
-let c_hit = Obs.Counter.make "cache.hit"
-let c_miss = Obs.Counter.make "cache.miss"
-let c_maintained = Obs.Counter.make "cache.maintained"
-let c_rebuilt = Obs.Counter.make "cache.rebuilt"
-let c_struct_bytes = Obs.Counter.make "mem.structure_bytes"
+let c_hit = Obs.Counter.make ~help:"Structure-cache hits (sort or aggregate structure reused as-is)" "cache.hit"
+let c_miss = Obs.Counter.make ~help:"Structure-cache misses (no reusable structure found)" "cache.miss"
+let c_maintained = Obs.Counter.make ~help:"Cached structures maintained incrementally instead of rebuilt" "cache.maintained"
+let c_rebuilt = Obs.Counter.make ~help:"Cached structures discarded and rebuilt from scratch" "cache.rebuilt"
+let c_struct_bytes = Obs.Counter.make ~help:"Bytes of auxiliary query structures (MSTs, segment trees, encodings) built" "mem.structure_bytes"
 
 (* per-structure footprints (repo-wide memory-accounting contract) *)
 let int_array_bytes a = 8 * (1 + Array.length a)

@@ -214,18 +214,65 @@ type t = {
   counters : Build_cache.counters;
   pids : (Expr.t list, int array option) Hashtbl.t;
   entries : (Expr.t list * Sort_spec.t, entry) Hashtbl.t;
+  (* how mutations classified stage partitions over the session's
+     lifetime: kept outright / extended in order / built from scratch
+     (first builds included).  Monotone — the introspection and gauge
+     story for "how much is maintenance actually saving". *)
+  mutable tally_reused : int;
+  mutable tally_extended : int;
+  mutable tally_rebuilt : int;
 }
+
+let entry_bytes e =
+  let parts =
+    Array.fold_left
+      (fun acc p ->
+        Hashtbl.fold
+          (fun _ vals acc -> acc + (16 * Array.length vals))
+          p.outputs
+          (acc + Build_cache.footprint_bytes p.cache))
+      0 e.parts
+  in
+  (8 * (Array.length e.perm + Array.length e.boundaries)) + parts
+
+let footprint_bytes s = Hashtbl.fold (fun _ e acc -> acc + entry_bytes e) s.entries 0
+
+(* The session.* gauges follow the most recently created session (the
+   callbacks are re-pointed by each [create]); the CLI and the serving
+   story both run one session per process. *)
+let register_gauges s =
+  let reg name help read = ignore (Obs.Gauge.register ~help name read) in
+  reg "session.rows" "Rows currently in the session table" (fun () -> Table.nrows s.table);
+  reg "session.bytes" "Bytes held by the session structure store (permutations, caches, outputs)"
+    (fun () -> footprint_bytes s);
+  reg "session.epoch" "Mutations (appends/evictions) applied to the session" (fun () -> s.epoch);
+  reg "session.keys" "(PARTITION BY, ORDER BY) stages held by the session store" (fun () ->
+      Hashtbl.length s.entries);
+  reg "session.parts_reused" "Stage partitions kept outright across mutations since session creation"
+    (fun () -> s.tally_reused);
+  reg "session.parts_extended"
+    "Stage partitions maintained incrementally (in-order append) since session creation" (fun () ->
+      s.tally_extended);
+  reg "session.parts_rebuilt" "Stage partitions built from scratch since session creation"
+    (fun () -> s.tally_rebuilt)
 
 let create ?pool table =
   let pool = match pool with Some p -> p | None -> Task_pool.default () in
-  {
-    table;
-    epoch = 0;
-    pool;
-    counters = Build_cache.fresh_counters ();
-    pids = Hashtbl.create 8;
-    entries = Hashtbl.create 8;
-  }
+  let s =
+    {
+      table;
+      epoch = 0;
+      pool;
+      counters = Build_cache.fresh_counters ();
+      pids = Hashtbl.create 8;
+      entries = Hashtbl.create 8;
+      tally_reused = 0;
+      tally_extended = 0;
+      tally_rebuilt = 0;
+    }
+  in
+  register_gauges s;
+  s
 
 let table s = s.table
 let epoch s = s.epoch
@@ -259,24 +306,10 @@ let lookup s ~pb ~order =
 let store s ~pb ~order ~perm ~boundaries =
   let nparts = Array.length boundaries - 1 in
   let parts = Array.init nparts (fun _ -> fresh_part s.counters Rebuilt) in
+  s.tally_rebuilt <- s.tally_rebuilt + nparts;
   let e = { perm; boundaries; parts; prov = ""; algs = Hashtbl.create 8 } in
   Hashtbl.replace s.entries (pb, order) e;
   (parts, e.algs)
-
-let footprint_bytes s =
-  Hashtbl.fold
-    (fun _ e acc ->
-      let parts =
-        Array.fold_left
-          (fun acc p ->
-            Hashtbl.fold
-              (fun _ vals acc -> acc + (16 * Array.length vals))
-              p.outputs
-              (acc + Build_cache.footprint_bytes p.cache))
-          0 e.parts
-      in
-      acc + (8 * (Array.length e.perm + Array.length e.boundaries)) + parts)
-    s.entries 0
 
 (* ------------------------------------------------------------------ *)
 (* Append maintenance                                                  *)
@@ -291,7 +324,12 @@ let footprint_bytes s =
    rows; then the old caches are kept and marked stale for incremental
    maintenance.  Out-of-order appends (a new row interleaving among old
    ones) invalidate precisely that partition. *)
-let classify_append ~counters ~pids ~old_perm ~old_b ~old_parts ~perm ~boundaries ~n_old =
+let classify_append s ~pids ~old_perm ~old_b ~old_parts ~perm ~boundaries ~n_old =
+  let counters = s.counters in
+  let rebuilt () =
+    s.tally_rebuilt <- s.tally_rebuilt + 1;
+    fresh_part counters Rebuilt
+  in
   let label row = match pids with None -> 0 | Some ids -> ids.(row) in
   let old_nparts = Array.length old_b - 1 in
   let old_index = Hashtbl.create (2 * old_nparts) in
@@ -302,14 +340,17 @@ let classify_append ~counters ~pids ~old_perm ~old_b ~old_parts ~perm ~boundarie
   let nparts = Array.length boundaries - 1 in
   Array.init nparts (fun p ->
       let lo = boundaries.(p) and hi = boundaries.(p + 1) in
-      if hi = lo then fresh_part counters Rebuilt
+      if hi = lo then rebuilt ()
       else
       match Hashtbl.find_opt old_index (label perm.(lo)) with
-      | None -> fresh_part counters Rebuilt
+      | None -> rebuilt ()
       | Some op ->
           let old_len = old_b.(op + 1) - old_b.(op) in
           let len = hi - lo in
-          if len = old_len then old_parts.(op)
+          if len = old_len then begin
+            s.tally_reused <- s.tally_reused + 1;
+            old_parts.(op)
+          end
           else if len > old_len then begin
             let in_order = ref true in
             for k = lo to lo + old_len - 1 do
@@ -320,11 +361,12 @@ let classify_append ~counters ~pids ~old_perm ~old_b ~old_parts ~perm ~boundarie
               Build_cache.advance part.cache;
               Hashtbl.reset part.outputs;
               part.status <- Extended old_len;
+              s.tally_extended <- s.tally_extended + 1;
               part
             end
-            else fresh_part counters Rebuilt
+            else rebuilt ()
           end
-          else fresh_part counters Rebuilt)
+          else rebuilt ())
 
 (* Maintain one stage order under an append: gather the new codec's
    leading word through the old permutation (run 1), sort the appended
@@ -397,7 +439,7 @@ let maintain_append s entry ~pids ~order ~n_old ~n =
         (perm, b, "rebuilt(order)")
   in
   let parts =
-    classify_append ~counters:s.counters ~pids ~old_perm:entry.perm ~old_b:entry.boundaries
+    classify_append s ~pids ~old_perm:entry.perm ~old_b:entry.boundaries
       ~old_parts:entry.parts ~perm ~boundaries ~n_old
   in
   entry.perm <- perm;
@@ -494,8 +536,14 @@ let apply_evict s keep =
               if surv.(p) > 0 then begin
                 boundaries.(!idx) <- !off;
                 parts.(!idx) <-
-                  (if surv.(p) = old_b.(p + 1) - old_b.(p) then entry.parts.(p)
-                   else fresh_part s.counters Rebuilt);
+                  (if surv.(p) = old_b.(p + 1) - old_b.(p) then begin
+                     s.tally_reused <- s.tally_reused + 1;
+                     entry.parts.(p)
+                   end
+                   else begin
+                     s.tally_rebuilt <- s.tally_rebuilt + 1;
+                     fresh_part s.counters Rebuilt
+                   end);
                 off := !off + surv.(p);
                 incr idx
               end
@@ -516,3 +564,93 @@ let evict_prefix s k =
   let n = Table.nrows s.table in
   let k = max 0 (min k n) in
   apply_evict s (Array.init n (fun i -> i >= k))
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type key_stats = {
+  partition_by : string;
+  order_by : string;
+  parts : int;
+  key_bytes : int;
+  cur_reused : int;
+  cur_extended : int;
+  cur_rebuilt : int;
+}
+
+type stats = {
+  s_epoch : int;
+  s_rows : int;
+  s_bytes : int;
+  reused : int;
+  extended : int;
+  rebuilt : int;
+  keys : key_stats list;
+}
+
+let stats s =
+  let keys =
+    Hashtbl.fold
+      (fun (pb, order) (e : entry) acc ->
+        let r = ref 0 and x = ref 0 and b = ref 0 in
+        Array.iter
+          (fun p ->
+            match p.status with
+            | Reused -> incr r
+            | Extended _ -> incr x
+            | Rebuilt -> incr b)
+          e.parts;
+        {
+          partition_by = String.concat ", " (List.map Expr.to_string pb);
+          order_by = Sort_spec.to_string order;
+          parts = Array.length e.parts;
+          key_bytes = entry_bytes e;
+          cur_reused = !r;
+          cur_extended = !x;
+          cur_rebuilt = !b;
+        }
+        :: acc)
+      s.entries []
+  in
+  let keys =
+    List.sort
+      (fun a b ->
+        match String.compare a.partition_by b.partition_by with
+        | 0 -> String.compare a.order_by b.order_by
+        | c -> c)
+      keys
+  in
+  {
+    s_epoch = s.epoch;
+    s_rows = Table.nrows s.table;
+    s_bytes = footprint_bytes s;
+    reused = s.tally_reused;
+    extended = s.tally_extended;
+    rebuilt = s.tally_rebuilt;
+    keys;
+  }
+
+let render_stats st =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "session epoch=%d rows=%d keys=%d footprint=%s\n" st.s_epoch st.s_rows
+       (List.length st.keys) (Obs.human_bytes st.s_bytes));
+  Buffer.add_string b
+    (Printf.sprintf "partitions since creation: reused=%d extended=%d rebuilt=%d\n" st.reused
+       st.extended st.rebuilt);
+  List.iter
+    (fun k ->
+      let key =
+        (if k.partition_by = "" then "" else "PARTITION BY " ^ k.partition_by ^ " ")
+        ^ "ORDER BY " ^ k.order_by
+      in
+      let line = "  " ^ key in
+      let pad = max 1 (48 - String.length line) in
+      Buffer.add_string b
+        (Printf.sprintf "%s%s parts=%-5d %10s  [reused=%d extended=%d rebuilt=%d]\n" line
+           (String.make pad ' ') k.parts
+           (Obs.human_bytes k.key_bytes)
+           k.cur_reused k.cur_extended k.cur_rebuilt))
+    st.keys;
+  Buffer.contents b

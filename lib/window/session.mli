@@ -139,3 +139,39 @@ val evict_prefix : t -> int -> unit
 val footprint_bytes : t -> int
 (** Approximate bytes held by the store: permutations, boundaries, cached
     structures and cached outputs. *)
+
+(** {2 Introspection}
+
+    What the store is holding and how much maintenance has been saving,
+    for [holiwin session stats] and the [session.*] gauges.  [create]
+    registers gauges ([session.rows], [session.bytes], [session.epoch],
+    [session.keys], [session.parts_reused]/[_extended]/[_rebuilt]) whose
+    callbacks follow the most recently created session. *)
+
+type key_stats = {
+  partition_by : string;  (** rendered PARTITION BY list, [""] when none *)
+  order_by : string;
+  parts : int;
+  key_bytes : int;  (** this stage's share of {!footprint_bytes} *)
+  cur_reused : int;  (** partitions currently in each status *)
+  cur_extended : int;
+  cur_rebuilt : int;
+}
+
+type stats = {
+  s_epoch : int;
+  s_rows : int;
+  s_bytes : int;  (** = {!footprint_bytes} *)
+  reused : int;
+      (** lifetime tallies: how mutations (and first builds) classified
+          stage partitions since the session was created *)
+  extended : int;
+  rebuilt : int;
+  keys : key_stats list;  (** sorted by (partition_by, order_by) *)
+}
+
+val stats : t -> stats
+
+val render_stats : stats -> string
+(** Human-readable multi-line rendering (deterministic apart from the
+    byte counts' magnitude formatting). *)

@@ -193,19 +193,21 @@ let morselize ~boundaries ~large ~morsel_rows =
   (List.rev !caller, List.rev !morsels)
 
 (* Registered plan counters, mirroring [stats] in captured traces. *)
-let c_stages = Obs.Counter.make "plan.stages"
-let c_partition_passes = Obs.Counter.make "plan.partition_passes"
-let c_full_sorts = Obs.Counter.make "plan.full_sorts"
-let c_partial_sorts = Obs.Counter.make "plan.partial_sorts"
-let c_reused_sorts = Obs.Counter.make "plan.reused_sorts"
-let c_session_sorts = Obs.Counter.make "plan.session_sorts"
-let c_comparator_sorts = Obs.Counter.make "plan.comparator_sorts"
+let c_stages = Obs.Counter.make ~help:"Pipeline stages executed by window plans" "plan.stages"
+let c_partition_passes = Obs.Counter.make ~help:"Partitioning passes over the input (shared across OVER clauses)" "plan.partition_passes"
+let c_full_sorts = Obs.Counter.make ~help:"Full sorts of a partitioning stage from scratch" "plan.full_sorts"
+let c_partial_sorts = Obs.Counter.make ~help:"Partial re-sorts refining an already partition-clustered order" "plan.partial_sorts"
+let c_reused_sorts = Obs.Counter.make ~help:"Sort orders reused verbatim from an earlier stage" "plan.reused_sorts"
+let c_session_sorts = Obs.Counter.make ~help:"Sort orders served from a session store entry" "plan.session_sorts"
+let c_comparator_sorts = Obs.Counter.make ~help:"Sorts that fell back to the boxed comparator path" "plan.comparator_sorts"
 
 (* One pick counter per backend: every resolved (stage, item) bumps its
    backend exactly once, independent of partition count or pool size. *)
 let c_evaluator =
   List.map
-    (fun nm -> (nm, Obs.Counter.make ("plan.evaluator." ^ Evaluator_choice.to_string nm)))
+    (fun nm ->
+      let s = Evaluator_choice.to_string nm in
+      (nm, Obs.Counter.make ~help:("Window clauses routed to the " ^ s ^ " evaluator") ("plan.evaluator." ^ s)))
     Evaluator_choice.all
 
 (* ------------------------------------------------------------------ *)
